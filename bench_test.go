@@ -1,0 +1,116 @@
+// Benchmarks reproducing the paper's performance experiments with
+// testing.B (one benchmark family per figure/table; the cmd/rlibmbench
+// and cmd/rlibmsweep binaries print the paper-shaped summaries).
+//
+//	Figure 3  → BenchmarkFloat32/<func>/<library>
+//	Figure 4  → BenchmarkPosit32/<func>/<library>
+//	§4.3      → BenchmarkBatch1024/<func>/<library>
+//	Table 1/2 → BenchmarkCheckOracle (oracle cost per correctness cell)
+package rlibm32_test
+
+import (
+	"testing"
+
+	rlibm "rlibm32"
+	"rlibm32/internal/baselines"
+	"rlibm32/internal/bigfp"
+	"rlibm32/internal/oracle"
+	"rlibm32/internal/perf"
+	"rlibm32/posit32"
+	"rlibm32/posit32/positmath"
+)
+
+var sink float32
+
+var sinkP posit32.Posit
+
+func benchFloat32(b *testing.B, f func(float32) float32, name string) {
+	xs := perf.Float32Inputs(name, 1<<12)
+	b.ResetTimer()
+	var s float32
+	for i := 0; i < b.N; i++ {
+		s += f(xs[i&(1<<12-1)])
+	}
+	sink = s
+}
+
+// BenchmarkFloat32 is the Figure 3 reproduction: rlibm vs each
+// baseline, per function.
+func BenchmarkFloat32(b *testing.B) {
+	for _, name := range rlibm.Names() {
+		rf, _ := rlibm.Func(name)
+		b.Run(name+"/rlibm", func(b *testing.B) { benchFloat32(b, rf, name) })
+		for _, lib := range baselines.Float32Libraries {
+			bf := baselines.Func32(lib, name)
+			if bf == nil {
+				continue
+			}
+			b.Run(name+"/"+string(lib), func(b *testing.B) { benchFloat32(b, bf, name) })
+		}
+	}
+}
+
+func benchPosit(b *testing.B, f func(posit32.Posit) posit32.Posit, name string) {
+	ps := perf.PositInputs(name, 1<<12)
+	b.ResetTimer()
+	var s posit32.Posit
+	for i := 0; i < b.N; i++ {
+		s ^= f(ps[i&(1<<12-1)])
+	}
+	sinkP = s
+}
+
+// BenchmarkPosit32 is the Figure 4 reproduction.
+func BenchmarkPosit32(b *testing.B) {
+	for _, name := range positmath.Names() {
+		rf, _ := positmath.Func(name)
+		b.Run(name+"/rlibm", func(b *testing.B) { benchPosit(b, rf, name) })
+		for _, lib := range baselines.Posit32Libraries {
+			bf := baselines.FuncPosit(lib, name)
+			if bf == nil {
+				continue
+			}
+			b.Run(name+"/"+string(lib), func(b *testing.B) { benchPosit(b, bf, name) })
+		}
+	}
+}
+
+// BenchmarkBatch1024 is the §4.3 "vectorization" harness: arrays of
+// 1024 inputs processed per outer iteration.
+func BenchmarkBatch1024(b *testing.B) {
+	for _, name := range []string{"exp", "log2", "cospi"} {
+		rf, _ := rlibm.Func(name)
+		xs := perf.Float32Inputs(name, 1024)
+		out := make([]float32, 1024)
+		b.Run(name+"/rlibm", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j, x := range xs {
+					out[j] = rf(x)
+				}
+			}
+			sink = out[0]
+		})
+		for _, lib := range baselines.Float32Libraries {
+			bf := baselines.Func32(lib, name)
+			if bf == nil {
+				continue
+			}
+			b.Run(name+"/"+string(lib), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for j, x := range xs {
+						out[j] = bf(x)
+					}
+				}
+				sink = out[0]
+			})
+		}
+	}
+}
+
+// BenchmarkCheckOracle measures the oracle cost dominating Table 1/2
+// generation and checking (the paper's "86% of total time is MPFR").
+func BenchmarkCheckOracle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		oracle.Float32(bigfp.Exp, 0.5+float64(i%1000)*1e-3)
+	}
+}

@@ -1,0 +1,107 @@
+// Command rlibmbench reproduces Figures 3 and 4: the speedup of
+// RLIBM-32's functions over each baseline library, one row per
+// function plus a geometric mean, and the §4.3 batch-of-1024
+// throughput comparison.
+//
+// Usage:
+//
+//	go run ./cmd/rlibmbench [-type float|posit|all] [-n inputs] [-reps R]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"rlibm32/internal/baselines"
+	"rlibm32/internal/perf"
+	"rlibm32/internal/rangered"
+)
+
+func main() {
+	typ := flag.String("type", "all", "float, posit, or all")
+	n := flag.Int("n", 1<<17, "input array length")
+	reps := flag.Int("reps", 8, "repetitions per measurement")
+	flag.Parse()
+
+	if *typ == "float" || *typ == "all" {
+		fmt.Println("Figure 3 reproduction: speedup of RLIBM-32 float32 functions")
+		fmt.Printf("%-8s %10s", "f(x)", "rlibm ns")
+		for _, l := range baselines.Float32Libraries {
+			fmt.Printf(" %12s", l)
+		}
+		fmt.Println()
+		geo := make(map[baselines.Library][]float64)
+		for _, name := range rangered.FloatNames {
+			row := fmt.Sprintf("%-8s", name)
+			printed := false
+			for i, lib := range baselines.Float32Libraries {
+				s, ok := perf.CompareFloat32(lib, name, *n, *reps)
+				if !ok {
+					row += fmt.Sprintf(" %12s", "N/A")
+					continue
+				}
+				if !printed {
+					row = fmt.Sprintf("%-8s %9.1f", name, s.RlibmNs)
+					for j := 0; j < i; j++ {
+						row += fmt.Sprintf(" %12s", "N/A")
+					}
+					printed = true
+				}
+				row += fmt.Sprintf(" %11.2fx", s.Factor())
+				geo[lib] = append(geo[lib], s.Factor())
+			}
+			fmt.Println(row)
+		}
+		fmt.Printf("%-8s %10s", "geomean", "")
+		for _, lib := range baselines.Float32Libraries {
+			fmt.Printf(" %11.2fx", geomean(geo[lib]))
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+
+	if *typ == "posit" || *typ == "all" {
+		fmt.Println("Figure 4 reproduction: speedup of RLIBM-32 posit32 functions")
+		fmt.Printf("%-8s %10s", "f(x)", "rlibm ns")
+		for _, l := range baselines.Posit32Libraries {
+			fmt.Printf(" %12s", l)
+		}
+		fmt.Println()
+		geo := make(map[baselines.Library][]float64)
+		for _, name := range rangered.PositNames {
+			s0, ok := perf.ComparePosit(baselines.Posit32Libraries[0], name, *n, *reps)
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-8s %9.1f %11.2fx", name, s0.RlibmNs, s0.Factor())
+			geo[baselines.Posit32Libraries[0]] = append(geo[baselines.Posit32Libraries[0]], s0.Factor())
+			for _, lib := range baselines.Posit32Libraries[1:] {
+				s, ok := perf.ComparePosit(lib, name, *n, *reps)
+				if !ok {
+					fmt.Printf(" %12s", "N/A")
+					continue
+				}
+				fmt.Printf(" %11.2fx", s.Factor())
+				geo[lib] = append(geo[lib], s.Factor())
+			}
+			fmt.Println()
+		}
+		fmt.Printf("%-8s %10s", "geomean", "")
+		for _, lib := range baselines.Posit32Libraries {
+			fmt.Printf(" %11.2fx", geomean(geo[lib]))
+		}
+		fmt.Println()
+	}
+}
+
+func geomean(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range v {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(v)))
+}

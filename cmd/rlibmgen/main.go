@@ -1,0 +1,133 @@
+// Command rlibmgen runs the RLIBM-32 generation pipeline and emits the
+// coefficient tables consumed by the runtime library (internal/libm).
+//
+// Usage:
+//
+//	go run ./cmd/rlibmgen [-type float|posit|all] [-func name]
+//	  [-inputs N] [-validate N] [-out dir] [-stats]
+//
+// With -stats it prints the Table 3 reproduction (generation time,
+// reduced-input counts, piecewise polynomial counts, degree, terms)
+// for the functions it generates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rlibm32/internal/checks"
+	"rlibm32/internal/gentool"
+	"rlibm32/internal/rangered"
+)
+
+func main() {
+	typ := flag.String("type", "all", "float, posit, or all")
+	fn := flag.String("func", "", "generate a single function (default: all of the variant)")
+	inputs := flag.Int("inputs", 100000, "generation sample size per function")
+	validateN := flag.Int("validate", 0, "validation sample size (default 2x inputs)")
+	out := flag.String("out", "internal/libm", "output directory for generated Go files")
+	stats := flag.Bool("stats", false, "print the Table 3 style generation report")
+	flag.Parse()
+
+	var variants []rangered.Variant
+	switch *typ {
+	case "float":
+		variants = []rangered.Variant{rangered.VFloat32}
+	case "posit":
+		variants = []rangered.Variant{rangered.VPosit32}
+	case "bfloat16":
+		variants = []rangered.Variant{rangered.VBFloat16}
+	case "float16":
+		variants = []rangered.Variant{rangered.VFloat16}
+	case "posit16":
+		variants = []rangered.Variant{rangered.VPosit16}
+	case "all":
+		variants = []rangered.Variant{rangered.VFloat32, rangered.VPosit32, rangered.VBFloat16, rangered.VFloat16, rangered.VPosit16}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -type %q\n", *typ)
+		os.Exit(2)
+	}
+
+	var allStats []gentool.Stats
+	for _, v := range variants {
+		names := rangered.Names(v)
+		if *fn != "" {
+			names = []string{*fn}
+		}
+		cfg := gentool.Config{
+			Variant:         v,
+			InputsPerFunc:   *inputs,
+			ValidatePerFunc: *validateN,
+		}
+		// Constrain on the correctness harness's own lattice too (the
+		// paper constrains on every input it tests; this is the sampled
+		// analogue). The 16-bit variants are exhaustive already.
+		switch v {
+		case rangered.VFloat32:
+			for _, x := range checks.SampleFloat32(400000) {
+				cfg.ExtraInputs = append(cfg.ExtraInputs, float64(x))
+			}
+		case rangered.VPosit32:
+			for _, p := range checks.SamplePosit32(400000) {
+				cfg.ExtraInputs = append(cfg.ExtraInputs, p.Float64())
+			}
+		}
+		var results []*gentool.Result
+		for _, name := range names {
+			t0 := time.Now()
+			fmt.Fprintf(os.Stderr, "[%s] generating %s...", v, name)
+			res, err := gentool.GenerateFunc(name, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", v, name, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, " ok (%.1fs, %v polys, %d LP calls, %d rounds)\n",
+				time.Since(t0).Seconds(), res.Stats.NumPolys, res.Stats.LPCalls, res.Stats.OuterRounds)
+			results = append(results, res)
+			allStats = append(allStats, res.Stats)
+		}
+		if *fn == "" {
+			src := gentool.EmitGo(results, v)
+			path := filepath.Join(*out, fmt.Sprintf("zgen_%s.go", v))
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d KB)\n", path, len(src)/1024)
+		}
+	}
+	if *fn == "" {
+		path := filepath.Join(*out, "zgen_stats.go")
+		if err := os.WriteFile(path, []byte(gentool.EmitStats(allStats)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *stats {
+		printStats(allStats)
+	}
+}
+
+func printStats(all []gentool.Stats) {
+	fmt.Println("Table 3 reproduction: generated piecewise polynomials")
+	fmt.Printf("%-8s %-8s %10s %14s %12s %7s %7s\n",
+		"f(x)", "type", "gen time", "reduced inp.", "# polys", "degree", "#terms")
+	for _, s := range all {
+		fmt.Printf("%-8s %-8s %9.1fs %14s %12s %7s %7s\n",
+			s.Name, s.Variant, s.GenTime.Seconds(),
+			joinInts(s.ReducedInputs), joinInts(s.NumPolys),
+			joinInts(s.Degree), joinInts(s.NumTerms))
+	}
+}
+
+func joinInts(v []int) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, "/")
+}

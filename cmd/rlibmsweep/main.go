@@ -1,0 +1,111 @@
+// Command rlibmsweep reproduces Figure 5: the performance of the
+// logarithm functions as the number of piecewise sub-domains grows from
+// 2^0 (a single polynomial) to 2^12, reported as speedup relative to
+// the single polynomial. At each depth the harness regenerates the
+// function at the forced splitting level, picking the lowest polynomial
+// degree that still satisfies every constraint — the degree drops are
+// the circles the paper draws on Figure 5.
+//
+// The reduced-interval constraints are computed once per function and
+// shared across depths (the oracle dominates cost). With -lattice the
+// constraint set additionally includes the correctness harness's input
+// lattice, which is the denser regime where the degree-vs-table trade
+// appears.
+//
+// Usage:
+//
+//	go run ./cmd/rlibmsweep [-inputs N] [-lattice] [-n len] [-reps R] [-max 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rlibm32/internal/checks"
+	"rlibm32/internal/gentool"
+	"rlibm32/internal/libm"
+	"rlibm32/internal/perf"
+	"rlibm32/internal/polygen"
+	"rlibm32/internal/rangered"
+)
+
+func main() {
+	inputs := flag.Int("inputs", 40000, "generation sample size")
+	n := flag.Int("n", 1<<16, "benchmark array length")
+	reps := flag.Int("reps", 8, "benchmark repetitions")
+	maxBits := flag.Int("max", 12, "largest log2(sub-domain count)")
+	lattice := flag.Bool("lattice", false, "also constrain on the correctness harness lattice (denser: forces the paper's degree-vs-table trade)")
+	flag.Parse()
+
+	var extra []float64
+	if *lattice {
+		for _, x := range checks.SampleFloat32(400000) {
+			extra = append(extra, float64(x))
+		}
+	}
+
+	ladders := [][]int{
+		{1, 2},
+		{1, 2, 3},
+		{1, 2, 3, 4},
+		{1, 2, 3, 4, 5},
+		{1, 2, 3, 4, 5, 6},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+
+	for _, name := range []string{"ln", "log2", "log10"} {
+		fmt.Printf("Figure 5 reproduction: %s speedup vs sub-domain count\n", name)
+		fam, cons, err := gentool.Constraints(name, gentool.Config{
+			Variant:       rangered.VFloat32,
+			InputsPerFunc: *inputs,
+			ExtraInputs:   extra,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		fmt.Printf("(%d reduced constraints)\n", len(cons[0]))
+		fmt.Printf("%-6s %10s %10s %8s %6s\n", "2^n", "ns/call", "speedup", "degree", "drop")
+		var baseNs float64
+		prevDeg := -1
+		for bits := 0; bits <= *maxBits; bits += 2 {
+			var pw *polygen.Piecewise
+			deg := 0
+			for _, terms := range ladders {
+				var genErr error
+				pw, _, genErr = polygen.Generate(
+					append([]polygen.Constraint(nil), cons[0]...),
+					polygen.Config{
+						Terms:        terms,
+						MinIndexBits: uint(bits),
+						MaxIndexBits: uint(bits),
+					})
+				if genErr == nil {
+					deg = terms[len(terms)-1]
+					break
+				}
+				pw = nil
+			}
+			if pw == nil {
+				fmt.Printf("2^%-4d %10s\n", bits, "infeasible")
+				prevDeg = -1
+				continue
+			}
+			ev := libm.Compile(fam, []*polygen.Piecewise{pw})
+			f32 := func(x float32) float32 { return float32(ev(float64(x))) }
+			xs := perf.Float32Inputs(name, *n)
+			ns := perf.MeasureFloat32(f32, xs, *reps)
+			if baseNs == 0 {
+				baseNs = ns
+			}
+			drop := ""
+			if prevDeg >= 0 && deg < prevDeg {
+				drop = "o" // the paper's circle marker
+			}
+			prevDeg = deg
+			fmt.Printf("2^%-4d %10.2f %9.2fx %8d %6s\n", bits, ns, baseNs/ns, deg, drop)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,70 @@
+// Command rlibmtable inspects the committed generated tables: the
+// piecewise polynomial structure of each function (sub-domain counts,
+// degrees, coefficient storage) and the per-function generation
+// statistics — a human-readable view of what cmd/rlibmgen produced,
+// useful when debugging a regeneration or auditing table sizes against
+// the paper's storage-budget discussion (§4.2).
+//
+// Usage:
+//
+//	go run ./cmd/rlibmtable [-type float32|posit32|bfloat16|float16|posit16]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rlibm32/internal/libm"
+	"rlibm32/internal/rangered"
+)
+
+func main() {
+	typ := flag.String("type", "float32", "variant to inspect")
+	flag.Parse()
+
+	var names []string
+	switch *typ {
+	case "posit32", "posit16":
+		names = rangered.PositNames
+	default:
+		names = rangered.FloatNames
+	}
+
+	fmt.Printf("generated tables (%s)\n", *typ)
+	fmt.Printf("%-8s %-12s %10s %10s\n", "f(x)", "structure", "coeffs", "bytes")
+	totalBytes := 0
+	for _, name := range names {
+		info, ok := libm.Describe(*typ, name)
+		if !ok {
+			fmt.Printf("%-8s %s\n", name, "(not generated)")
+			continue
+		}
+		fmt.Printf("%-8s %-12s %10d %10d\n", name, info.Structure, info.Coeffs, info.Bytes)
+		totalBytes += info.Bytes
+	}
+	fmt.Printf("%-8s %23d %10d\n", "total", 0, totalBytes)
+	fmt.Println()
+
+	// Generation statistics for the variant (Table 3 data).
+	var stats []map[string]any
+	if err := json.Unmarshal([]byte(libm.GenStatsJSON), &stats); err != nil {
+		fmt.Fprintln(os.Stderr, "stats unavailable:", err)
+		return
+	}
+	fmt.Println("generation statistics (from the committed run):")
+	for _, s := range stats {
+		if s["Variant"] == *typ {
+			fmt.Printf("  %-8v gen=%6.1fs oracle=%6.1fs LP calls=%v rounds=%v\n",
+				s["Name"],
+				toSec(s["GenTime"]), toSec(s["OracleTime"]),
+				s["LPCalls"], s["OuterRounds"])
+		}
+	}
+}
+
+func toSec(v any) float64 {
+	f, _ := v.(float64)
+	return f / 1e9
+}

@@ -1,0 +1,58 @@
+// correctness-scan: find inputs where mainstream-style libraries
+// produce incorrectly rounded float32 results and rlibm32 does not —
+// a user-runnable slice of the paper's Table 1.
+//
+// Run with:
+//
+//	go run ./examples/correctness-scan [-n 50000]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rlibm32/internal/baselines"
+	"rlibm32/internal/checks"
+	"rlibm32/internal/oracle"
+
+	rlibm "rlibm32"
+)
+
+func main() {
+	n := flag.Int("n", 50000, "inputs to scan per function")
+	flag.Parse()
+
+	xs := checks.SampleFloat32(*n)
+	fmt.Printf("scanning %d float32 inputs per function against the oracle\n\n", len(xs))
+	fmt.Printf("%-8s %10s %12s %12s %12s %12s\n",
+		"f(x)", "rlibm", "fastfloat", "stddouble", "crdouble", "vecfloat")
+	for _, name := range rlibm.Names() {
+		fmt.Printf("%-8s", name)
+		for _, lib := range []string{"rlibm", "fastfloat", "stddouble", "crdouble", "vecfloat"} {
+			r := checks.CheckFloat32(lib, name, xs)
+			switch {
+			case r.Tested < 0:
+				fmt.Printf(" %12s", "N/A")
+			case r.Wrong == 0:
+				fmt.Printf(" %12s", "all correct")
+			default:
+				fmt.Printf(" %11dX", r.Wrong)
+			}
+		}
+		fmt.Println()
+	}
+
+	// Show one concrete wrong result from the float-precision class.
+	fmt.Println("\nexample: a concrete wrong result from the float-precision class")
+	f := baselines.Func32(baselines.FastFloat, "exp")
+	for _, x := range xs {
+		got := f(x)
+		want := oracle.Float32(checks.OracleFunc["exp"], float64(x))
+		if got != want && got == got {
+			fmt.Printf("  fastfloat exp(%v) = %v\n", x, got)
+			fmt.Printf("  correct (oracle)  = %v\n", want)
+			fmt.Printf("  rlibm32.Exp       = %v\n", rlibm.Exp(x))
+			break
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// posit-sigmoid: machine-learning-style use of the posit32 library.
+//
+// Posits were designed for ML workloads (tapered precision around 1.0);
+// this example evaluates a numerically careful sigmoid and a softmax in
+// pure posit32 arithmetic using the correctly rounded Exp from
+// posit32/positmath — the first correctly rounded posit32 elementary
+// functions (paper §4.2, Table 2).
+//
+// Run with:
+//
+//	go run ./examples/posit-sigmoid
+package main
+
+import (
+	"fmt"
+
+	"rlibm32/posit32"
+	"rlibm32/posit32/positmath"
+)
+
+// sigmoid computes 1/(1+e^(-x)) in posit arithmetic. Note the posit
+// behaviours that differ from floats: Exp never underflows to zero
+// (it saturates to MinPos), so sigmoid(x) never collapses to exactly 0
+// or 1 for finite x — the gradient never vanishes completely.
+func sigmoid(x posit32.Posit) posit32.Posit {
+	e := positmath.Exp(x.Neg())
+	return posit32.One.Div(posit32.One.Add(e))
+}
+
+// softmax computes exp(x_i − max)/Σ in posit arithmetic.
+func softmax(xs []posit32.Posit) []posit32.Posit {
+	mx := xs[0]
+	for _, x := range xs[1:] {
+		if x.Cmp(mx) > 0 {
+			mx = x
+		}
+	}
+	exps := make([]posit32.Posit, len(xs))
+	sum := posit32.Zero
+	for i, x := range xs {
+		exps[i] = positmath.Exp(x.Sub(mx))
+		sum = sum.Add(exps[i])
+	}
+	for i := range exps {
+		exps[i] = exps[i].Div(sum)
+	}
+	return exps
+}
+
+func main() {
+	fmt.Println("sigmoid in correctly rounded posit32 arithmetic")
+	for _, v := range []float64{-30, -5, -1, 0, 1, 5, 30} {
+		p := posit32.FromFloat64(v)
+		s := sigmoid(p)
+		fmt.Printf("  sigmoid(%6.1f) = %-22v bits=%#08x\n", v, s.Float64(), s.Bits())
+	}
+	fmt.Println()
+	fmt.Println("note: sigmoid(-30) is tiny but NONZERO — posits saturate to")
+	fmt.Println("MinPos instead of flushing to 0, so gradients survive.")
+	fmt.Println()
+
+	logits := []float64{2.0, 1.0, 0.1, -1.2}
+	ps := make([]posit32.Posit, len(logits))
+	for i, v := range logits {
+		ps[i] = posit32.FromFloat64(v)
+	}
+	sm := softmax(ps)
+	fmt.Println("softmax(2.0, 1.0, 0.1, -1.2):")
+	total := posit32.Zero
+	for i, p := range sm {
+		fmt.Printf("  p[%d] = %.8f\n", i, p.Float64())
+		total = total.Add(p)
+	}
+	fmt.Printf("  Σ    = %v (correctly rounded accumulation)\n", total.Float64())
+
+	// Log-sum-exp with the correctly rounded Log.
+	lse := positmath.Log(positmath.Exp(ps[0]).Add(positmath.Exp(ps[1])))
+	fmt.Printf("\nlog(e^2 + e^1) = %.9f\n", lse.Float64())
+}

@@ -1,0 +1,52 @@
+// Quickstart: correctly rounded float32 math with rlibm32.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+
+	rlibm "rlibm32"
+)
+
+func main() {
+	fmt.Println("rlibm32 quickstart — correctly rounded float32 functions")
+	fmt.Println()
+
+	// Every function returns RN_float32(f(x)): the real value rounded
+	// once. Compare with the double-precision stdlib rounded to float32,
+	// which double-rounds and occasionally differs.
+	inputs := []float32{0.1, 1.5, 7.25, 100}
+	fmt.Printf("%-10s %-14s %-14s %-14s\n", "x", "rlibm.Exp", "float32(math)", "same?")
+	for _, x := range inputs {
+		a := rlibm.Exp(x)
+		b := float32(math.Exp(float64(x)))
+		fmt.Printf("%-10v %-14v %-14v %v\n", x, a, b, a == b)
+	}
+	fmt.Println()
+
+	// The sinpi/cospi family avoids the π-argument blowup entirely:
+	// sinpi(x) is sin(πx) computed exactly, so integers give exact
+	// zeros — unlike float32(math.Sin(math.Pi * 1e6)).
+	fmt.Println("sinpi(1e6)        =", rlibm.Sinpi(1e6))
+	fmt.Println("sin(π·1e6) (math) =", float32(math.Sin(math.Pi*1e6)))
+	fmt.Println()
+
+	// Hard cases: values whose true result is extremely close to a
+	// float32 rounding boundary are where mainstream libms go wrong
+	// (paper Table 1). rlibm32's result is always the correctly rounded
+	// one, including in exp's gradual-underflow band:
+	x := float32(-95.2)
+	fmt.Printf("Exp(%v) = %g (subnormal, correctly rounded)\n", x, rlibm.Exp(x))
+
+	// Iterate over the whole library by name.
+	fmt.Println()
+	fmt.Println("f(2.0) across the library:")
+	for _, name := range rlibm.Names() {
+		f, _ := rlibm.Func(name)
+		fmt.Printf("  %-6s(2) = %v\n", name, f(2))
+	}
+}

@@ -1,0 +1,252 @@
+// Package gen exposes the RLIBM-32 generation pipeline as a public
+// API: given an arbitrary-precision oracle for a real function, it
+// produces a piecewise polynomial whose double-precision evaluation
+// rounds to the correctly rounded float32 result for every sampled
+// input — the paper's approach (rounding intervals + LP +
+// counterexample-guided refinement) packaged for new functions.
+//
+// This is the "library generator" face of the project: the shipped
+// rlibm32 functions were produced by the same machinery plus
+// function-specific range reductions (internal/rangered). Functions
+// generated through this package use the identity range reduction, so
+// they suit modest domains; for full-domain functions write a range
+// reduction and use cmd/rlibmgen as a template.
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+
+	"rlibm32/internal/fp"
+	"rlibm32/internal/interval"
+	"rlibm32/internal/piecewise"
+	"rlibm32/internal/polygen"
+)
+
+// Oracle evaluates the target real function at a float64 point with a
+// relative error of at most 2^(-prec+4). Implementations typically use
+// math/big.Float series (see internal/bigfp for ten examples).
+type Oracle func(x float64, prec uint) *big.Float
+
+// Options tunes generation.
+type Options struct {
+	// Terms are the monomial exponents of the polynomial (default
+	// [0,1,2,3,4]).
+	Terms []int
+	// Inputs is the number of float32 inputs sampled from the domain
+	// (default 20000). All sampled inputs are guaranteed correctly
+	// rounded; unsampled inputs inherit the polynomial's margin.
+	Inputs int
+	// MaxIndexBits caps piecewise splitting at 2^MaxIndexBits
+	// sub-domains (default 10).
+	MaxIndexBits uint
+	// ValidationDensity makes the outer validation lattice this many
+	// times denser than the generation lattice (default 8). Mismatches
+	// found there are fed back as constraints, so higher density buys
+	// stronger end-to-end guarantees at oracle cost.
+	ValidationDensity int
+}
+
+// Approximation is a generated correctly rounded implementation.
+type Approximation struct {
+	table  *polygen.Piecewise
+	lo, hi float32
+	// NumPolynomials reports the piecewise sub-domain count.
+	NumPolynomials int
+	// Degree is the highest monomial degree.
+	Degree int
+}
+
+// Eval evaluates the approximation and rounds to float32. Inputs
+// outside the generation domain are clamped (generate over the full
+// domain you intend to use).
+func (a *Approximation) Eval(x float32) float32 {
+	if x < a.lo {
+		x = a.lo
+	}
+	if x > a.hi {
+		x = a.hi
+	}
+	return float32(a.table.Eval(float64(x)))
+}
+
+// ErrDomain reports an invalid generation domain.
+var ErrDomain = errors.New("gen: domain must be finite with lo < hi and not cross zero")
+
+// CorrectlyRounded32 generates a float32-correct approximation of the
+// oracle's function over [lo, hi]. The domain must not straddle zero
+// (bit-pattern sub-domain indexing is per-sign; split your domain at
+// zero and generate each side).
+func CorrectlyRounded32(f Oracle, lo, hi float32, opt Options) (*Approximation, error) {
+	if !(lo < hi) || fp.IsNaN32(lo) || fp.IsInf32(lo, 0) || fp.IsInf32(hi, 0) || (lo < 0 && hi > 0) {
+		return nil, ErrDomain
+	}
+	if opt.Terms == nil {
+		opt.Terms = []int{0, 1, 2, 3, 4}
+	}
+	if opt.Inputs == 0 {
+		opt.Inputs = 20000
+	}
+	if opt.MaxIndexBits == 0 {
+		opt.MaxIndexBits = 10
+	}
+	if opt.ValidationDensity == 0 {
+		opt.ValidationDensity = 8
+	}
+	tgt := interval.Float32Target{}
+	// Ordinal-uniform deterministic sample.
+	oLo, oHi := tgt.Ord(float64(lo)), tgt.Ord(float64(hi))
+	span := oHi - oLo
+	stride := span / int64(opt.Inputs)
+	if stride < 1 {
+		stride = 1
+	}
+	var cons []polygen.Constraint
+	for o := oLo; o <= oHi; o += stride {
+		x := tgt.FromOrd(o)
+		y, ok := roundZiv(f, x)
+		if !ok {
+			return nil, fmt.Errorf("gen: oracle returned non-finite value at x=%v", x)
+		}
+		iv, ok := interval.Rounding32(y)
+		if !ok {
+			return nil, fmt.Errorf("gen: no rounding interval at x=%v", x)
+		}
+		v, _ := f(x, 96).Float64()
+		cons = append(cons, polygen.Constraint{R: x, Lo: iv.Lo, Hi: iv.Hi, V: v})
+	}
+	merged, err := polygen.MergeByInput(cons)
+	if err != nil {
+		return nil, err
+	}
+	pw, _, err := polygen.Generate(merged, polygen.Config{
+		Terms:        opt.Terms,
+		MaxIndexBits: opt.MaxIndexBits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := &Approximation{table: pw, lo: lo, hi: hi}
+	a.NumPolynomials = pw.NumPolynomials()
+	for _, t := range pw.Tables() {
+		if d := t.Degree(); d > a.Degree {
+			a.Degree = d
+		}
+	}
+	// Outer counterexample rounds (the sampled analogue of the paper's
+	// check-all-inputs loop): validate on phase-shifted lattices,
+	// feed every mismatch back, regenerate once per round.
+	vstride := stride / int64(opt.ValidationDensity)
+	if vstride < 1 {
+		vstride = 1
+	}
+	for round := 0; round < 6; round++ {
+		phase := vstride * int64(round+1) / 7
+		bad := findMismatches(f, pw, tgt, oLo+phase, oHi, vstride)
+		if len(bad) == 0 {
+			break
+		}
+		merged, err = polygen.MergeByInput(append(merged, bad...))
+		if err != nil {
+			return nil, err
+		}
+		pw, _, err = polygen.Generate(merged, polygen.Config{
+			Terms:        opt.Terms,
+			MaxIndexBits: opt.MaxIndexBits,
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.table = pw
+	}
+	return a, nil
+}
+
+// roundZiv rounds the oracle's value to float32 with precision retry.
+func roundZiv(f Oracle, x float64) (float32, bool) {
+	for _, p := range []uint{96, 160, 256, 400} {
+		w := f(x, p)
+		if w == nil {
+			return 0, false
+		}
+		if w.IsInf() {
+			return 0, false
+		}
+		if w.Sign() == 0 {
+			return 0, true
+		}
+		e := new(big.Float).SetPrec(w.Prec()).SetMantExp(
+			new(big.Float).SetPrec(w.Prec()).Abs(w), -int(p)+4)
+		lo, _ := new(big.Float).Sub(w, e).Float32()
+		hi, _ := new(big.Float).Add(w, e).Float32()
+		if lo == hi {
+			return lo, true
+		}
+	}
+	w := f(x, 400)
+	v, _ := w.Float32()
+	return v, true
+}
+
+// EvalKindName exposes the polynomial evaluation scheme name for
+// documentation output in examples.
+func (a *Approximation) EvalKindName() string {
+	ts := a.table.Tables()
+	if len(ts) == 0 {
+		return "none"
+	}
+	switch ts[0].Kind {
+	case piecewise.Dense:
+		return "dense Horner"
+	case piecewise.Odd:
+		return "odd (x·Q(x²))"
+	case piecewise.Even:
+		return "even (Q(x²))"
+	case piecewise.NoConst:
+		return "no-constant (x·Q(x))"
+	}
+	return "sparse"
+}
+
+// findMismatches scans a validation lattice in parallel, returning a
+// constraint for every input the current tables misround.
+func findMismatches(f Oracle, pw *polygen.Piecewise, tgt interval.Float32Target, oLo, oHi, stride int64) []polygen.Constraint {
+	workers := runtime.GOMAXPROCS(0)
+	out := make([][]polygen.Constraint, workers)
+	count := (oHi - oLo) / stride
+	chunk := count/int64(workers) + 1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := oLo + int64(w)*chunk*stride
+		end := start + chunk*stride
+		if end > oHi+1 {
+			end = oHi + 1
+		}
+		wg.Add(1)
+		go func(w int, start, end int64) {
+			defer wg.Done()
+			for o := start; o < end; o += stride {
+				x := tgt.FromOrd(o)
+				y, ok := roundZiv(f, x)
+				if !ok {
+					continue
+				}
+				got := float32(pw.Eval(float64(x)))
+				if got != y && !(got != got && y != y) {
+					iv, _ := interval.Rounding32(y)
+					v, _ := f(x, 96).Float64()
+					out[w] = append(out[w], polygen.Constraint{R: x, Lo: iv.Lo, Hi: iv.Hi, V: v})
+				}
+			}
+		}(w, start, end)
+	}
+	wg.Wait()
+	var all []polygen.Constraint
+	for _, b := range out {
+		all = append(all, b...)
+	}
+	return all
+}

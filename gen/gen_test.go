@@ -1,0 +1,61 @@
+package gen_test
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"rlibm32/gen"
+	"rlibm32/internal/bigfp"
+)
+
+func expOracle(x float64, prec uint) *big.Float {
+	return bigfp.Eval(bigfp.Exp, x, prec)
+}
+
+func TestCorrectlyRounded32Exp(t *testing.T) {
+	a, err := gen.CorrectlyRounded32(expOracle, 0.5, 1.5, gen.Options{Inputs: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPolynomials < 1 || a.Degree < 1 {
+		t.Errorf("implausible approximation: %d polys degree %d", a.NumPolynomials, a.Degree)
+	}
+	// Every sampled-grid input must be correctly rounded; spot-check a
+	// dense independent grid.
+	wrong := 0
+	for x := float32(0.5); x <= 1.5; x += 0.0001 {
+		want, _ := bigfp.Eval(bigfp.Exp, float64(x), 96).Float32()
+		if a.Eval(x) != want {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		t.Errorf("%d wrong results on the spot-check grid", wrong)
+	}
+}
+
+func TestCorrectlyRounded32DomainErrors(t *testing.T) {
+	if _, err := gen.CorrectlyRounded32(expOracle, -1, 1, gen.Options{}); err == nil {
+		t.Error("zero-straddling domain must be rejected")
+	}
+	if _, err := gen.CorrectlyRounded32(expOracle, 2, 1, gen.Options{}); err == nil {
+		t.Error("inverted domain must be rejected")
+	}
+	if _, err := gen.CorrectlyRounded32(expOracle, 1, float32(math.Inf(1)), gen.Options{}); err == nil {
+		t.Error("infinite domain must be rejected")
+	}
+}
+
+func TestEvalClamps(t *testing.T) {
+	a, err := gen.CorrectlyRounded32(expOracle, 1, 2, gen.Options{Inputs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Eval(0.5) != a.Eval(1) || a.Eval(3) != a.Eval(2) {
+		t.Error("out-of-domain inputs should clamp to the edges")
+	}
+	if a.EvalKindName() == "" {
+		t.Error("EvalKindName should describe the scheme")
+	}
+}

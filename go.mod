@@ -1,0 +1,3 @@
+module rlibm32
+
+go 1.22

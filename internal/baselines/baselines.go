@@ -1,0 +1,91 @@
+package baselines
+
+import (
+	"rlibm32/posit32"
+)
+
+// Library identifies a comparator library (see package comment for the
+// paper column each one stands in for).
+type Library string
+
+// The comparator libraries.
+const (
+	FastFloat Library = "fastfloat" // glibc/Intel float libm class
+	StdDouble Library = "stddouble" // glibc/Intel double libm class
+	CRDouble  Library = "crdouble"  // CR-LIBM class (correctly rounded double)
+	VecFloat  Library = "vecfloat"  // MetaLibm vectorizable class
+)
+
+// Float32Libraries lists the libraries compared against in Table 1 /
+// Figure 3 order.
+var Float32Libraries = []Library{FastFloat, StdDouble, CRDouble, VecFloat}
+
+// Posit32Libraries lists the repurposed double libraries of Table 2 /
+// Figure 4 (float-precision libraries cannot represent posit32 values,
+// exactly as the paper notes).
+var Posit32Libraries = []Library{StdDouble, CRDouble}
+
+// Func32 returns the library's float32 implementation of the named
+// function, or nil when the library does not provide it (mirroring the
+// N/A entries of Table 1).
+func Func32(lib Library, name string) func(float32) float32 {
+	switch lib {
+	case FastFloat:
+		return fastFloat(name)
+	case VecFloat:
+		return vecFloat(name)
+	case StdDouble:
+		f := stdDouble(name)
+		if f == nil {
+			return nil
+		}
+		return func(x float32) float32 { return float32(f(float64(x))) }
+	case CRDouble:
+		f := crDouble(name)
+		if f == nil {
+			return nil
+		}
+		return func(x float32) float32 { return float32(f(float64(x))) }
+	}
+	return nil
+}
+
+// FuncPosit returns the library's posit32 implementation (computed in
+// double and rounded to posit32 — the paper's "re-purposing" of double
+// libraries, complete with its double-rounding and saturation
+// failures).
+func FuncPosit(lib Library, name string) func(posit32.Posit) posit32.Posit {
+	var f func(float64) float64
+	switch lib {
+	case StdDouble:
+		f = stdDouble(name)
+	case CRDouble:
+		f = crDouble(name)
+	}
+	if f == nil {
+		return nil
+	}
+	return func(p posit32.Posit) posit32.Posit {
+		if p.IsNaR() {
+			return posit32.NaR
+		}
+		// The paper's literal repurposing: compute in double, round the
+		// result to posit32. Double overflow to ±Inf therefore lands on
+		// NaR, and underflow to 0 stays 0 — the two behaviours behind
+		// the exponential/hyperbolic failure counts of Table 2 (posits
+		// themselves never overflow or underflow).
+		return posit32.FromFloat64(f(p.Float64()))
+	}
+}
+
+// Func64 exposes the double-precision implementations for the CRDouble
+// and StdDouble classes (used by the posit harness and benchmarks).
+func Func64(lib Library, name string) func(float64) float64 {
+	switch lib {
+	case StdDouble:
+		return stdDouble(name)
+	case CRDouble:
+		return crDouble(name)
+	}
+	return nil
+}

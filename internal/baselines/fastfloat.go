@@ -1,0 +1,265 @@
+package baselines
+
+import "math"
+
+// FastFloat: float32-arithmetic implementations in the style of
+// single-precision libm code (table-free Cody–Waite reductions plus
+// short polynomials evaluated in float32). Their error is a few
+// float32 ulps, which — exactly as the paper reports for glibc's and
+// Intel's float libm — yields wrong results for on the order of 10^5
+// to 10^7 of the 2^32 inputs.
+
+const (
+	ln2Hi32  float32 = 0.693359375 // 0x1.63p-1, 12-bit mantissa: k·ln2Hi exact
+	ln2Lo32  float32 = -2.12194440e-4
+	invLn232 float32 = 1.4426950408889634
+	ln2f     float32 = 0.6931471805599453
+	ln10f    float32 = 2.302585092994046
+	pif      float32 = 3.14159265358979
+)
+
+// log10of2Hi/Lo form the float32 Cody–Waite split of log10(2): the
+// high part's low 12 mantissa bits are zero, so k·hi is exact for the
+// k range of exp10f.
+var log10of2Hi, log10of2Lo float32
+
+func init() {
+	l := math.Log10(2)
+	hi := math.Float32frombits(math.Float32bits(float32(l)) &^ 0xFFF)
+	log10of2Hi = hi
+	log10of2Lo = float32(l - float64(hi))
+}
+
+// expPoly32 evaluates e^r for |r| <= ln2/2 with a degree-6 float32
+// Taylor polynomial (max error ≈ a couple of float32 ulps).
+func expPoly32(r float32) float32 {
+	const (
+		c2 float32 = 1.0 / 2
+		c3 float32 = 1.0 / 6
+		c4 float32 = 1.0 / 24
+		c5 float32 = 1.0 / 120
+		c6 float32 = 1.0 / 720
+	)
+	return 1 + r*(1+r*(c2+r*(c3+r*(c4+r*(c5+r*c6)))))
+}
+
+func expf(x float32) float32 {
+	switch {
+	case x != x:
+		return x
+	case x > 89:
+		return float32(math.Inf(1))
+	case x < -104:
+		return 0
+	}
+	k := float32(math.Round(float64(x * invLn232)))
+	r := (x - k*ln2Hi32) - k*ln2Lo32
+	return float32(math.Ldexp(float64(expPoly32(r)), int(k)))
+}
+
+func exp2f(x float32) float32 {
+	switch {
+	case x != x:
+		return x
+	case x > 128.5:
+		return float32(math.Inf(1))
+	case x < -150.5:
+		return 0
+	}
+	k := float32(math.Round(float64(x)))
+	r := (x - k) * ln2f
+	return float32(math.Ldexp(float64(expPoly32(r)), int(k)))
+}
+
+func exp10f(x float32) float32 {
+	switch {
+	case x != x:
+		return x
+	case x > 38.8:
+		return float32(math.Inf(1))
+	case x < -45.3:
+		return 0
+	}
+	// 10^x = 2^k · e^r with k = round(x·log2(10)), r = (x − k·log10(2))·ln10.
+	const log2of10 float32 = 3.3219280948873623
+	k := float32(math.Round(float64(x * log2of10)))
+	r := ((x - k*log10of2Hi) - k*log10of2Lo) * ln10f
+	return float32(math.Ldexp(float64(expPoly32(r)), int(k)))
+}
+
+// logf computes ln(x) with the atanh-form polynomial in float32.
+func logf(x float32) float32 {
+	switch {
+	case x != x || x > math.MaxFloat32:
+		if x < 0 {
+			return float32(math.NaN())
+		}
+		return x
+	case x == 0:
+		return float32(math.Inf(-1))
+	case x < 0:
+		return float32(math.NaN())
+	}
+	fr, e := math.Frexp(float64(x)) // float32 payload, exact in double
+	m := float32(fr)                // m ∈ [0.5, 1)
+	if m < 0.70710678 {
+		m *= 2
+		e--
+	}
+	t := m - 1
+	s := t / (2 + t)
+	s2 := s * s
+	// ln(1+t) = 2·atanh(s) = 2s(1 + s²/3 + s⁴/5 + s⁶/7)
+	p := 2 * s * (1 + s2*(1.0/3+s2*(1.0/5+s2*(1.0/7))))
+	return float32(e)*ln2f + p
+}
+
+func log2f(x float32) float32 {
+	const invLn2 float32 = 1.4426950408889634
+	l := logf(x)
+	if l != l || l > math.MaxFloat32 || l < -math.MaxFloat32 {
+		return l
+	}
+	return l * invLn2
+}
+
+func log10f(x float32) float32 {
+	const invLn10 float32 = 0.4342944819032518
+	l := logf(x)
+	if l != l || l > math.MaxFloat32 || l < -math.MaxFloat32 {
+		return l
+	}
+	return l * invLn10
+}
+
+func sinhf(x float32) float32 {
+	switch {
+	case x != x:
+		return x
+	case x > 90:
+		return float32(math.Inf(1))
+	case x < -90:
+		return float32(math.Inf(-1))
+	}
+	a := x
+	if a < 0 {
+		a = -a
+	}
+	if a < 1 {
+		// Odd Taylor through x⁹ (error ≈ x¹¹/11! — a fraction of an ulp).
+		x2 := x * x
+		return x * (1 + x2*(1.0/6+x2*(1.0/120+x2*(1.0/5040+x2*(1.0/362880)))))
+	}
+	e := expf(a)
+	r := (e - 1/e) * 0.5
+	if x < 0 {
+		return -r
+	}
+	return r
+}
+
+func coshf(x float32) float32 {
+	switch {
+	case x != x:
+		return x
+	case x > 90 || x < -90:
+		return float32(math.Inf(1))
+	}
+	a := x
+	if a < 0 {
+		a = -a
+	}
+	e := expf(a)
+	return (e + 1/e) * 0.5
+}
+
+// sinCosPoly32 evaluates sin(t) and cos(t) for |t| <= π/2 in float32.
+func sinPoly32(t float32) float32 {
+	t2 := t * t
+	return t * (1 + t2*(-1.0/6+t2*(1.0/120+t2*(-1.0/5040+t2*(1.0/362880)))))
+}
+
+func cosPoly32(t float32) float32 {
+	t2 := t * t
+	return 1 + t2*(-0.5+t2*(1.0/24+t2*(-1.0/720+t2*(1.0/40320+t2*(-1.0/3628800)))))
+}
+
+// piReduce32 reduces |x| mod 2 in float32 (exact for float32 inputs)
+// to L ∈ [0, 0.5] with signs for sinpi and cospi.
+func piReduce32(x float32) (L, sSign, cSign float32) {
+	sSign, cSign = 1, 1
+	y := x
+	if y < 0 {
+		y = -y
+		sSign = -1
+	}
+	j := float32(math.Mod(float64(y), 2))
+	if j >= 1 {
+		j -= 1
+		sSign = -sSign
+		cSign = -cSign
+	}
+	if j > 0.5 {
+		j = 1 - j
+		cSign = -cSign
+	}
+	return j, sSign, cSign
+}
+
+func sinpif(x float32) float32 {
+	if x != x || x > math.MaxFloat32 || x < -math.MaxFloat32 {
+		return float32(math.NaN())
+	}
+	if x >= 0x1p23 || x <= -0x1p23 {
+		return 0
+	}
+	L, s, _ := piReduce32(x)
+	if L <= 0.25 {
+		return s * sinPoly32(pif*L)
+	}
+	return s * cosPoly32(pif*(0.5-L))
+}
+
+func cospif(x float32) float32 {
+	if x != x || x > math.MaxFloat32 || x < -math.MaxFloat32 {
+		return float32(math.NaN())
+	}
+	if x >= 0x1p23 || x <= -0x1p23 {
+		if float32(math.Mod(math.Abs(float64(x)), 2)) != 0 {
+			return -1
+		}
+		return 1
+	}
+	L, _, c := piReduce32(x)
+	if L <= 0.25 {
+		return c * cosPoly32(pif*L)
+	}
+	return c * sinPoly32(pif*(0.5-L))
+}
+
+// fastFloat dispatches the FastFloat implementation by name.
+func fastFloat(name string) func(float32) float32 {
+	switch name {
+	case "ln":
+		return logf
+	case "log2":
+		return log2f
+	case "log10":
+		return log10f
+	case "exp":
+		return expf
+	case "exp2":
+		return exp2f
+	case "exp10":
+		return exp10f
+	case "sinh":
+		return sinhf
+	case "cosh":
+		return coshf
+	case "sinpi":
+		return sinpif
+	case "cospi":
+		return cospif
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package baselines implements the comparator libraries of the paper's
+// evaluation (Tables 1-2, Figures 3-4), one per failure class:
+//
+//   - StdDouble — Go's double-precision math package (faithfully
+//     rounded, ~1 ulp), standing in for glibc's and Intel's double
+//     libm: wrong float32 results only at rare rounding boundaries.
+//   - FastFloat — float32-arithmetic implementations, standing in for
+//     glibc's and Intel's float libm: wrong for many inputs.
+//   - VecFloat — branch-minimized single-polynomial float32
+//     implementations, standing in for MetaLibm's vectorizable code:
+//     fastest per call, least accurate.
+//   - CRDouble — a correctly rounded double-precision library built on
+//     double-double arithmetic with an arbitrary-precision fallback,
+//     standing in for CR-LIBM: float32 results wrong only through
+//     double rounding, exactly the paper's CR-LIBM failure mode.
+//
+// See DESIGN.md §1 for why each substitute preserves the behaviour the
+// paper measures.
+package baselines
+
+import "math"
+
+// stdDouble dispatches to Go's math package, plus double
+// implementations of exp10/sinpi/cospi (absent from the stdlib) in the
+// same faithful-but-not-correct accuracy class.
+func stdDouble(name string) func(float64) float64 {
+	switch name {
+	case "ln":
+		return math.Log
+	case "log2":
+		return math.Log2
+	case "log10":
+		return math.Log10
+	case "exp":
+		return math.Exp
+	case "exp2":
+		return math.Exp2
+	case "exp10":
+		return exp10Double
+	case "sinh":
+		return math.Sinh
+	case "cosh":
+		return math.Cosh
+	case "sinpi":
+		return sinpiDouble
+	case "cospi":
+		return cospiDouble
+	}
+	return nil
+}
+
+// exp10Double computes 10^x the way mainstream double libms do (split
+// off the exact power of two, exponentiate the fraction), with ~1 ulp
+// error.
+func exp10Double(x float64) float64 {
+	// 10^x = 2^(x·log2(10)); split t = x·log2(10) into n + f.
+	const log2of10 = 3.321928094887362347870319429489390175864831393024580612054
+	t := x * log2of10
+	if t > 1100 {
+		return math.Inf(1)
+	}
+	if t < -1120 {
+		return 0
+	}
+	n := math.Round(t)
+	// f = x·log2(10) − n computed in two pieces to limit cancellation.
+	const hi = 3.32192809488736218e+00
+	const lo = 8.83175330237689813e-17
+	f := (x*hi - n) + x*lo
+	return math.Ldexp(math.Exp2(f), int(n))
+}
+
+// sinpiDouble computes sin(πx) at double-libm accuracy: exact argument
+// reduction mod 2 followed by math.Sin/Cos of π·L with a split π.
+func sinpiDouble(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return math.NaN()
+	}
+	s := 1.0
+	y := math.Abs(x)
+	if x < 0 {
+		s = -1
+	}
+	if y >= 0x1p53 {
+		return 0 * s
+	}
+	j := math.Mod(y, 2)
+	if j >= 1 {
+		j -= 1
+		s = -s
+	}
+	if j > 0.5 {
+		j = 1 - j
+	}
+	return s * math.Sin(math.Pi*j)
+}
+
+// cospiDouble computes cos(πx) at double-libm accuracy.
+func cospiDouble(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return math.NaN()
+	}
+	y := math.Abs(x)
+	if y >= 0x1p53 {
+		return 1
+	}
+	s := 1.0
+	j := math.Mod(y, 2)
+	if j >= 1 {
+		j -= 1
+		s = -s
+	}
+	if j > 0.5 {
+		j = 1 - j
+		s = -s
+	}
+	return s * math.Cos(math.Pi*j)
+}

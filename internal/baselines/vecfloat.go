@@ -1,0 +1,87 @@
+package baselines
+
+import "math"
+
+// VecFloat: branch-minimized single-polynomial implementations in the
+// style of MetaLibm's vectorizable code paths (paper §4.1 builds
+// MetaLibm with AVX2 optimizations; §4.2 notes it produces wrong
+// results for up to ~5·10^8 inputs). The polynomials here cover the
+// whole reduced domain with one fixed-degree evaluation, no lookup
+// tables and no sub-domain branching, trading accuracy for a short
+// straight-line body.
+
+func vexpf(x float32) float32 {
+	// Clamp instead of branching on specials (vector style).
+	if x != x {
+		return x
+	}
+	xc := x
+	if xc > 89 {
+		xc = 89
+	}
+	if xc < -104 {
+		xc = -104
+	}
+	k := float32(math.Round(float64(xc * invLn232)))
+	r := (xc - k*ln2Hi32) - k*ln2Lo32
+	p := expPoly32(r)
+	v := float32(math.Ldexp(float64(p), int(k)))
+	if x > 89 {
+		return float32(math.Inf(1))
+	}
+	if x < -104 {
+		return 0
+	}
+	return v
+}
+
+func vexp2f(x float32) float32 {
+	if x != x {
+		return x
+	}
+	xc := x
+	if xc > 128 {
+		return float32(math.Inf(1))
+	}
+	if xc < -150 {
+		return 0
+	}
+	k := float32(math.Round(float64(xc)))
+	r := (xc - k) * ln2f
+	return float32(math.Ldexp(float64(expPoly32(r)), int(k)))
+}
+
+func vcospif(x float32) float32 {
+	if x != x || x > math.MaxFloat32 || x < -math.MaxFloat32 {
+		return float32(math.NaN())
+	}
+	if x >= 0x1p23 || x <= -0x1p23 {
+		if float32(math.Mod(math.Abs(float64(x)), 2)) != 0 {
+			return -1
+		}
+		return 1
+	}
+	L, _, c := piReduce32(x)
+	// One even polynomial over the whole [0, 0.5] half-period: degree 8
+	// is not enough for full accuracy — deliberately, like a wide
+	// vectorized kernel.
+	t := pif * L
+	return c * cosPoly32(t)
+}
+
+// vecFloat dispatches the VecFloat implementation by name (the paper
+// benchmarks MetaLibm for exp, exp2, cosh/cospi-style kernels; we cover
+// the trio of Figure 3(d) plus reuse FastFloat for the rest).
+func vecFloat(name string) func(float32) float32 {
+	switch name {
+	case "exp":
+		return vexpf
+	case "exp2":
+		return vexp2f
+	case "cospi":
+		return vcospif
+	case "cosh":
+		return coshf
+	}
+	return nil
+}

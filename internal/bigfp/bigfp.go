@@ -1,0 +1,564 @@
+// Package bigfp is this repository's stand-in for the MPFR oracle used
+// by RLIBM-32: arbitrary-precision elementary functions built on
+// math/big.Float.
+//
+// Every function evaluates with a 64-bit internal guard and returns a
+// value whose relative error is bounded by 2^(-prec+ErrLog2). The
+// oracle package wraps these in a Ziv-style retry loop (raising prec
+// until the rounding to the 32-bit target is unambiguous), which
+// reproduces the paper's "MPFR with up to 400 precision bits" contract.
+//
+// The implementations use classical constructive schemes with cheap,
+// conservative error budgets:
+//
+//   - exp: additive reduction by ln2, then scaling the remainder below
+//     2^-8 and a Taylor series, then repeated squaring;
+//   - log: multiplicative reduction to m ∈ [0.75, 1.5] and the atanh
+//     series ln m = 2·atanh((m-1)/(m+1));
+//   - sinpi/cospi: exact (double) reduction of the argument mod 2 and a
+//     Taylor series of sin/cos on [0, π/2];
+//   - sinh/cosh: exp-based for |x| ≥ 1, Taylor for the cancellation-
+//     prone small-|x| sinh;
+//   - π via Machin's formula, ln2 and ln10 via fast atanh series.
+package bigfp
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sync"
+)
+
+// Func identifies an elementary function supported by the oracle.
+type Func int
+
+// Supported elementary functions.
+const (
+	Exp Func = iota
+	Exp2
+	Exp10
+	Log
+	Log2
+	Log10
+	Log1p
+	Log21p
+	Log101p
+	Sinh
+	Cosh
+	SinPi
+	CosPi
+	numFuncs
+)
+
+var funcNames = [numFuncs]string{
+	"exp", "exp2", "exp10", "log", "log2", "log10", "log1p",
+	"log21p", "log101p", "sinh", "cosh", "sinpi", "cospi",
+}
+
+// String returns the conventional lowercase name of the function.
+func (f Func) String() string {
+	if f < 0 || f >= numFuncs {
+		return fmt.Sprintf("Func(%d)", int(f))
+	}
+	return funcNames[f]
+}
+
+// ErrLog2 bounds the relative error of Eval: the returned value w
+// satisfies |w - f(x)| <= 2^(-prec+ErrLog2) * |f(x)| for finite
+// nonzero results. The internal 64-bit guard makes this very
+// conservative.
+const ErrLog2 = 4
+
+// guard is the number of extra working bits beyond the requested
+// precision.
+const guard = 64
+
+// Eval returns an approximation of f(x) with relative error at most
+// 2^(-prec+ErrLog2). x must be finite and inside f's domain (for Log
+// and friends: x > 0; Log1p: x > -1). Exact zeros (e.g. sinpi of an
+// integer) are returned as exact zeros.
+func Eval(f Func, x float64, prec uint) *big.Float {
+	p := prec + guard
+	switch f {
+	case Exp:
+		return expBig(setF(x, p), p)
+	case Exp2:
+		return exp2Big(x, p)
+	case Exp10:
+		ln10 := constLn10(p)
+		arg := setF(x, p)
+		arg.Mul(arg, ln10)
+		return expBig(arg, p)
+	case Log:
+		return logBig(setF(x, p), p)
+	case Log2:
+		r := logBig(setF(x, p), p)
+		return r.Quo(r, constLn2(p))
+	case Log10:
+		r := logBig(setF(x, p), p)
+		return r.Quo(r, constLn10(p))
+	case Log1p:
+		return log1pBig(x, p)
+	case Log21p:
+		r := log1pBig(x, p)
+		return r.Quo(r, constLn2(p))
+	case Log101p:
+		r := log1pBig(x, p)
+		return r.Quo(r, constLn10(p))
+	case Sinh:
+		return sinhBig(x, p)
+	case Cosh:
+		return coshBig(x, p)
+	case SinPi:
+		return sinPiBig(x, p)
+	case CosPi:
+		return cosPiBig(x, p)
+	}
+	panic("bigfp: unknown function " + f.String())
+}
+
+// setF converts a float64 exactly to a big.Float of precision p.
+func setF(x float64, p uint) *big.Float {
+	return new(big.Float).SetPrec(p).SetFloat64(x)
+}
+
+// --- constants ---------------------------------------------------------
+
+type constCache struct {
+	mu   sync.Mutex
+	vals map[uint]*big.Float
+	gen  func(p uint) *big.Float
+}
+
+func (c *constCache) at(p uint) *big.Float {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.vals[p]; ok {
+		return v
+	}
+	v := c.gen(p)
+	if c.vals == nil {
+		c.vals = make(map[uint]*big.Float)
+	}
+	c.vals[p] = v
+	return v
+}
+
+var (
+	ln2Cache  = &constCache{gen: genLn2}
+	ln10Cache = &constCache{gen: genLn10}
+	piCache   = &constCache{gen: genPi}
+)
+
+// constLn2 returns ln 2 to precision p (cached; the cached value is
+// shared and must not be mutated).
+func constLn2(p uint) *big.Float { return ln2Cache.at(p) }
+
+// constLn10 returns ln 10 to precision p.
+func constLn10(p uint) *big.Float { return ln10Cache.at(p) }
+
+// constPi returns π to precision p.
+func constPi(p uint) *big.Float { return piCache.at(p) }
+
+// Ln2 returns ln 2 with relative error below 2^(-prec+2).
+func Ln2(prec uint) *big.Float { return clone(constLn2(prec + guard)) }
+
+// Ln10 returns ln 10 with relative error below 2^(-prec+2).
+func Ln10(prec uint) *big.Float { return clone(constLn10(prec + guard)) }
+
+// Pi returns π with relative error below 2^(-prec+2).
+func Pi(prec uint) *big.Float { return clone(constPi(prec + guard)) }
+
+func clone(x *big.Float) *big.Float { return new(big.Float).Copy(x) }
+
+// atanhRecipSeries computes atanh(num/den) = Σ (num/den)^(2k+1)/(2k+1)
+// for small rational num/den, at precision p.
+func atanhRecipSeries(num, den int64, p uint) *big.Float {
+	z := new(big.Float).SetPrec(p).SetInt64(num)
+	z.Quo(z, new(big.Float).SetPrec(p).SetInt64(den))
+	z2 := new(big.Float).SetPrec(p).Mul(z, z)
+	sum := new(big.Float).SetPrec(p)
+	term := new(big.Float).SetPrec(p).Set(z)
+	t := new(big.Float).SetPrec(p)
+	thresh := int(p) + 4
+	for k := int64(0); ; k++ {
+		t.Quo(term, new(big.Float).SetPrec(p).SetInt64(2*k+1))
+		sum.Add(sum, t)
+		term.Mul(term, z2)
+		if term.Sign() == 0 || sum.Sign() != 0 && term.MantExp(nil)-sum.MantExp(nil) < -thresh {
+			break
+		}
+	}
+	return sum
+}
+
+// atanRecipSeries computes atan(1/n) = Σ (-1)^k / ((2k+1) n^(2k+1)).
+func atanRecipSeries(n int64, p uint) *big.Float {
+	z := new(big.Float).SetPrec(p).SetInt64(1)
+	z.Quo(z, new(big.Float).SetPrec(p).SetInt64(n))
+	z2 := new(big.Float).SetPrec(p).Mul(z, z)
+	sum := new(big.Float).SetPrec(p)
+	term := new(big.Float).SetPrec(p).Set(z)
+	t := new(big.Float).SetPrec(p)
+	thresh := int(p) + 4
+	for k := int64(0); ; k++ {
+		t.Quo(term, new(big.Float).SetPrec(p).SetInt64(2*k+1))
+		if k%2 == 0 {
+			sum.Add(sum, t)
+		} else {
+			sum.Sub(sum, t)
+		}
+		term.Mul(term, z2)
+		if term.Sign() == 0 || sum.Sign() != 0 && term.MantExp(nil)-sum.MantExp(nil) < -thresh {
+			break
+		}
+	}
+	return sum
+}
+
+func genLn2(p uint) *big.Float {
+	// ln 2 = 2 atanh(1/3).
+	v := atanhRecipSeries(1, 3, p+16)
+	v.SetPrec(p + 16)
+	return v.Add(v, v)
+}
+
+func genLn10(p uint) *big.Float {
+	// ln 10 = 3 ln 2 + ln(10/8) = 3 ln 2 + 2 atanh(1/9).
+	ln2 := genLn2(p + 16)
+	a := atanhRecipSeries(1, 9, p+16)
+	a.Add(a, a)
+	three := new(big.Float).SetPrec(p + 16).SetInt64(3)
+	three.Mul(three, ln2)
+	return a.Add(a, three)
+}
+
+func genPi(p uint) *big.Float {
+	// Machin: π = 16 atan(1/5) − 4 atan(1/239).
+	a := atanRecipSeries(5, p+16)
+	b := atanRecipSeries(239, p+16)
+	sixteen := new(big.Float).SetPrec(p + 16).SetInt64(16)
+	four := new(big.Float).SetPrec(p + 16).SetInt64(4)
+	a.Mul(a, sixteen)
+	b.Mul(b, four)
+	return a.Sub(a, b)
+}
+
+// --- exp ---------------------------------------------------------------
+
+// expBig computes e^x at working precision p for |x| up to a few
+// thousand.
+func expBig(x *big.Float, p uint) *big.Float {
+	if x.Sign() == 0 {
+		return new(big.Float).SetPrec(p).SetInt64(1)
+	}
+	ln2 := constLn2(p)
+	// k = round(x / ln2).
+	q := new(big.Float).SetPrec(p).Quo(x, ln2)
+	qf, _ := q.Float64()
+	if qf > 1e8 || qf < -1e8 {
+		// Saturate: |result| is far beyond every representable range of
+		// the 32-bit targets (and of float64); callers only compare it
+		// against finite bounds. 2^±2^28 stays within big.Float's
+		// exponent range.
+		r := new(big.Float).SetPrec(p).SetInt64(1)
+		if qf > 0 {
+			return r.SetMantExp(r, 1<<28)
+		}
+		return r.SetMantExp(r, -(1 << 28))
+	}
+	k := int(math.Round(qf))
+	// r = x - k*ln2, |r| <= ln2/2 + tiny.
+	r := new(big.Float).SetPrec(p).SetInt64(int64(k))
+	r.Mul(r, ln2)
+	r.Sub(x, r)
+	// Scale r down below 2^-8: t = r / 2^s.
+	s := 0
+	if r.Sign() != 0 {
+		e := r.MantExp(nil) // r = m * 2^e, |m| in [0.5, 1)
+		if e > -8 {
+			s = e + 8
+		}
+	}
+	t := new(big.Float).SetPrec(p).SetMantExp(r, -s)
+	// Taylor: e^t = Σ t^n / n!.
+	sum := new(big.Float).SetPrec(p).SetInt64(1)
+	term := new(big.Float).SetPrec(p).SetInt64(1)
+	thresh := int(p) + 4
+	for n := int64(1); ; n++ {
+		term.Mul(term, t)
+		term.Quo(term, new(big.Float).SetPrec(p).SetInt64(n))
+		sum.Add(sum, term)
+		if term.Sign() == 0 || term.MantExp(nil)-sum.MantExp(nil) < -thresh {
+			break
+		}
+	}
+	// Square s times.
+	for i := 0; i < s; i++ {
+		sum.Mul(sum, sum)
+	}
+	// Multiply by 2^k exactly.
+	return sum.SetMantExp(sum, k)
+}
+
+// exp2Big computes 2^x for a float64 x, using the exact split
+// x = i + f with i = round(x), so the 2^i factor is exact.
+func exp2Big(x float64, p uint) *big.Float {
+	if x > 1e8 || x < -1e8 {
+		r := new(big.Float).SetPrec(p).SetInt64(1)
+		if x > 0 {
+			return r.SetMantExp(r, 1<<28)
+		}
+		return r.SetMantExp(r, -(1 << 28))
+	}
+	i := math.Round(x)
+	f := x - i // exact: i and x share the same scale
+	arg := setF(f, p)
+	arg.Mul(arg, constLn2(p))
+	r := expBig(arg, p)
+	return r.SetMantExp(r, int(i))
+}
+
+// --- log ---------------------------------------------------------------
+
+// logBig computes ln(x) for x > 0 at working precision p.
+func logBig(x *big.Float, p uint) *big.Float {
+	if x.Sign() <= 0 {
+		panic("bigfp: log of non-positive value")
+	}
+	// x = m * 2^k with m in [0.5, 1); renormalize to m in [0.75, 1.5).
+	mant := new(big.Float).SetPrec(p)
+	k := x.MantExp(mant)
+	threeQuarters := new(big.Float).SetPrec(p).SetFloat64(0.75)
+	if mant.Cmp(threeQuarters) < 0 {
+		mant.SetMantExp(mant, 1) // m *= 2
+		k--
+	}
+	// ln m = 2 atanh(z), z = (m-1)/(m+1), |z| <= 1/5.
+	one := new(big.Float).SetPrec(p).SetInt64(1)
+	num := new(big.Float).SetPrec(p).Sub(mant, one)
+	den := new(big.Float).SetPrec(p).Add(mant, one)
+	z := new(big.Float).SetPrec(p).Quo(num, den)
+	lnm := atanhSeries(z, p)
+	lnm.Add(lnm, lnm)
+	// ln x = k ln2 + ln m.
+	kl := new(big.Float).SetPrec(p).SetInt64(int64(k))
+	kl.Mul(kl, constLn2(p))
+	return lnm.Add(lnm, kl)
+}
+
+// atanhSeries computes atanh(z) for |z| <= 0.25 by Taylor series.
+func atanhSeries(z *big.Float, p uint) *big.Float {
+	if z.Sign() == 0 {
+		return new(big.Float).SetPrec(p)
+	}
+	z2 := new(big.Float).SetPrec(p).Mul(z, z)
+	sum := new(big.Float).SetPrec(p)
+	term := new(big.Float).SetPrec(p).Set(z)
+	t := new(big.Float).SetPrec(p)
+	thresh := int(p) + 4
+	for k := int64(0); ; k++ {
+		t.Quo(term, new(big.Float).SetPrec(p).SetInt64(2*k+1))
+		sum.Add(sum, t)
+		term.Mul(term, z2)
+		if term.Sign() == 0 || term.MantExp(nil)-sum.MantExp(nil) < -thresh {
+			break
+		}
+	}
+	return sum
+}
+
+// log1pBig computes ln(1+x) for x > -1, avoiding cancellation for
+// small |x| via ln(1+x) = 2 atanh(x/(2+x)).
+func log1pBig(x float64, p uint) *big.Float {
+	if x <= -1 {
+		panic("bigfp: log1p domain error")
+	}
+	if x == 0 {
+		return new(big.Float).SetPrec(p)
+	}
+	if math.Abs(x) < 0.5 {
+		xb := setF(x, p)
+		den := new(big.Float).SetPrec(p).SetInt64(2)
+		den.Add(den, xb)
+		z := new(big.Float).SetPrec(p).Quo(xb, den)
+		r := atanhSeries(z, p)
+		return r.Add(r, r)
+	}
+	// 1+x is exact at precision p >= 64+53.
+	xb := setF(x, p)
+	one := new(big.Float).SetPrec(p).SetInt64(1)
+	return logBig(xb.Add(xb, one), p)
+}
+
+// --- sinh / cosh -------------------------------------------------------
+
+func sinhBig(x float64, p uint) *big.Float {
+	if x == 0 {
+		// Preserve the sign of zero for completeness.
+		return setF(x, p)
+	}
+	ax := math.Abs(x)
+	var r *big.Float
+	if ax > 0.35*float64(p+16) {
+		// e^-ax is below one ulp of e^ax at this precision: adding it
+		// cannot change the rounded result, and big.Float addition
+		// across an exponent gap of 2·ax/ln2 bits is catastrophically
+		// slow for large ax (it aligns mantissas bit by bit).
+		r = expBig(setF(ax, p), p)
+		r.SetMantExp(r, -1)
+		if x < 0 {
+			r.Neg(r)
+		}
+		return r
+	}
+	if ax < 1 {
+		// Taylor: sinh t = Σ t^(2k+1)/(2k+1)!.
+		t := setF(ax, p)
+		t2 := new(big.Float).SetPrec(p).Mul(t, t)
+		sum := new(big.Float).SetPrec(p).Set(t)
+		term := new(big.Float).SetPrec(p).Set(t)
+		thresh := int(p) + 4
+		for k := int64(1); ; k++ {
+			term.Mul(term, t2)
+			term.Quo(term, new(big.Float).SetPrec(p).SetInt64(2*k*(2*k+1)))
+			sum.Add(sum, term)
+			if term.Sign() == 0 || term.MantExp(nil)-sum.MantExp(nil) < -thresh {
+				break
+			}
+		}
+		r = sum
+	} else {
+		e := expBig(setF(ax, p), p)
+		inv := new(big.Float).SetPrec(p).Quo(new(big.Float).SetPrec(p).SetInt64(1), e)
+		r = e.Sub(e, inv)
+		r.SetMantExp(r, -1) // /2
+	}
+	if x < 0 {
+		r.Neg(r)
+	}
+	return r
+}
+
+func coshBig(x float64, p uint) *big.Float {
+	ax := math.Abs(x)
+	if ax > 0.35*float64(p+16) {
+		// See sinhBig: the e^-ax term is sub-ulp and the wide-gap
+		// addition is pathologically slow.
+		r := expBig(setF(ax, p), p)
+		return r.SetMantExp(r, -1)
+	}
+	e := expBig(setF(ax, p), p)
+	inv := new(big.Float).SetPrec(p).Quo(new(big.Float).SetPrec(p).SetInt64(1), e)
+	r := e.Add(e, inv)
+	if r.Sign() != 0 {
+		r.SetMantExp(r, -1) // /2
+	}
+	return r
+}
+
+// --- sinpi / cospi -----------------------------------------------------
+
+// reducePi reduces a finite float64 x for sin(πx)/cos(πx): it returns
+// L ∈ [0, 0.5] (exact as a float64), a sign flip for sinpi, and a sign
+// flip for cospi, such that
+//
+//	sinpi(x) = sSign * sinpi(L)   and   cospi(x) = cSign * cospi(L).
+//
+// All reduction arithmetic is exact in float64 (mod 2 of a double is a
+// double; 1-L is exact by Sterbenz's lemma).
+func reducePi(x float64) (L float64, sSign, cSign int) {
+	sSign, cSign = 1, 1
+	if x < 0 {
+		// sinpi odd, cospi even.
+		x = -x
+		sSign = -1
+	}
+	j := math.Mod(x, 2) // exact, in [0, 2)
+	if j >= 1 {
+		// sinpi(1+t) = -sinpi(t), cospi(1+t) = -cospi(t).
+		j -= 1 // exact (both in [1,2))
+		sSign = -sSign
+		cSign = -cSign
+	}
+	// j in [0, 1).
+	if j > 0.5 {
+		// sinpi(1-t) = sinpi(t), cospi(1-t) = -cospi(t).
+		j = 1 - j // exact by Sterbenz
+		cSign = -cSign
+	}
+	return j, sSign, cSign
+}
+
+// sinSeries computes sin(t) for 0 <= t <= 1.6 at precision p.
+func sinSeries(t *big.Float, p uint) *big.Float {
+	if t.Sign() == 0 {
+		return new(big.Float).SetPrec(p)
+	}
+	t2 := new(big.Float).SetPrec(p).Mul(t, t)
+	sum := new(big.Float).SetPrec(p).Set(t)
+	term := new(big.Float).SetPrec(p).Set(t)
+	thresh := int(p) + 4
+	for k := int64(1); ; k++ {
+		term.Mul(term, t2)
+		term.Quo(term, new(big.Float).SetPrec(p).SetInt64(2*k*(2*k+1)))
+		if k%2 == 1 {
+			sum.Sub(sum, term)
+		} else {
+			sum.Add(sum, term)
+		}
+		if term.Sign() == 0 || term.MantExp(nil)-sum.MantExp(nil) < -thresh {
+			break
+		}
+	}
+	return sum
+}
+
+// cosSeries computes cos(t) for 0 <= t <= 1.6 at precision p.
+func cosSeries(t *big.Float, p uint) *big.Float {
+	t2 := new(big.Float).SetPrec(p).Mul(t, t)
+	sum := new(big.Float).SetPrec(p).SetInt64(1)
+	term := new(big.Float).SetPrec(p).SetInt64(1)
+	thresh := int(p) + 4
+	for k := int64(1); ; k++ {
+		term.Mul(term, t2)
+		term.Quo(term, new(big.Float).SetPrec(p).SetInt64((2*k-1)*(2*k)))
+		if k%2 == 1 {
+			sum.Sub(sum, term)
+		} else {
+			sum.Add(sum, term)
+		}
+		if term.Sign() == 0 || term.MantExp(nil)-sum.MantExp(nil) < -thresh {
+			break
+		}
+	}
+	return sum
+}
+
+func sinPiBig(x float64, p uint) *big.Float {
+	L, sSign, _ := reducePi(x)
+	if L == 0 {
+		return new(big.Float).SetPrec(p) // exact zero
+	}
+	t := setF(L, p)
+	t.Mul(t, constPi(p))
+	r := sinSeries(t, p)
+	if sSign < 0 {
+		r.Neg(r)
+	}
+	return r
+}
+
+func cosPiBig(x float64, p uint) *big.Float {
+	L, _, cSign := reducePi(x)
+	if L == 0.5 {
+		return new(big.Float).SetPrec(p) // cos(π/2) = 0 exactly
+	}
+	t := setF(L, p)
+	t.Mul(t, constPi(p))
+	r := cosSeries(t, p)
+	if cSign < 0 {
+		r.Neg(r)
+	}
+	return r
+}

@@ -1,0 +1,252 @@
+package bigfp
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// close verifies that w agrees with the float64 reference to within
+// relTol relative error.
+func close(t *testing.T, name string, x float64, w *big.Float, ref, relTol float64) {
+	t.Helper()
+	got, _ := w.Float64()
+	if ref == 0 {
+		if math.Abs(got) > relTol {
+			t.Errorf("%s(%v) = %v, want ~0", name, x, got)
+		}
+		return
+	}
+	if math.Abs(got-ref)/math.Abs(ref) > relTol {
+		t.Errorf("%s(%v) = %v, want %v", name, x, got, ref)
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	// Go's math functions are faithfully rounded (error around 1 ulp),
+	// so agreement within 2^-48 relative validates our series end to end.
+	const tol = 0x1p-48
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		x := rng.Float64()*20 - 10
+		close(t, "exp", x, Eval(Exp, x, 96), math.Exp(x), tol)
+		close(t, "exp2", x, Eval(Exp2, x, 96), math.Exp2(x), tol)
+		close(t, "sinh", x, Eval(Sinh, x, 96), math.Sinh(x), tol)
+		close(t, "cosh", x, Eval(Cosh, x, 96), math.Cosh(x), tol)
+		px := math.Abs(x) + 1e-9
+		close(t, "log", px, Eval(Log, px, 96), math.Log(px), tol)
+		// Go's Log2/Log10 lose relative accuracy near x=1 (cancellation
+		// after the frexp split), so compare with an absolute tolerance
+		// scaled to the magnitude of ln(x) instead.
+		absTol := 1e-13
+		g2, _ := Eval(Log2, px, 96).Float64()
+		if math.Abs(g2-math.Log2(px)) > absTol {
+			t.Errorf("log2(%v) = %v, want %v", px, g2, math.Log2(px))
+		}
+		g10, _ := Eval(Log10, px, 96).Float64()
+		if math.Abs(g10-math.Log10(px)) > absTol {
+			t.Errorf("log10(%v) = %v, want %v", px, g10, math.Log10(px))
+		}
+		l := rng.Float64()*2 - 0.9
+		close(t, "log1p", l, Eval(Log1p, l, 96), math.Log1p(l), 0x1p-45)
+	}
+}
+
+func TestSinCosPiAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		x := rng.Float64()*8 - 4
+		// Reference via argument scaling in double: only ~1e-15 accurate,
+		// so use a loose tolerance.
+		refS := math.Sin(math.Pi * x)
+		refC := math.Cos(math.Pi * x)
+		gotS, _ := Eval(SinPi, x, 96).Float64()
+		gotC, _ := Eval(CosPi, x, 96).Float64()
+		if math.Abs(gotS-refS) > 1e-12 {
+			t.Errorf("sinpi(%v) = %v, want ~%v", x, gotS, refS)
+		}
+		if math.Abs(gotC-refC) > 1e-12 {
+			t.Errorf("cospi(%v) = %v, want ~%v", x, gotC, refC)
+		}
+	}
+}
+
+func TestSinPiExactCases(t *testing.T) {
+	for _, x := range []float64{0, 1, 2, -1, 3, 1e9} {
+		if Eval(SinPi, x, 96).Sign() != 0 {
+			t.Errorf("sinpi(%v) should be exactly 0", x)
+		}
+	}
+	for _, x := range []float64{0.5, 1.5, -0.5, 2.5} {
+		if Eval(CosPi, x, 96).Sign() != 0 {
+			t.Errorf("cospi(%v) should be exactly 0", x)
+		}
+	}
+	one := big.NewFloat(1)
+	if Eval(CosPi, 0, 96).Cmp(one) != 0 {
+		t.Error("cospi(0) should be exactly 1")
+	}
+	// sinpi(0.5) = sin(π/2) comes from the series, so it is 1 only to
+	// within the error bound; its double rounding must still be 1.
+	if v, _ := Eval(SinPi, 0.5, 96).Float64(); v != 1 {
+		t.Errorf("sinpi(0.5) rounds to %v, want 1", v)
+	}
+}
+
+// TestCrossPrecision verifies the stated error bound empirically: the
+// value at precision p must agree with the value at precision 2p to
+// within 2^(-p+ErrLog2) relative.
+func TestCrossPrecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	funcs := []Func{Exp, Exp2, Exp10, Log, Log2, Log10, Log1p, Sinh, Cosh, SinPi, CosPi}
+	for i := 0; i < 60; i++ {
+		x := rng.Float64()*60 - 30
+		for _, f := range funcs {
+			arg := x
+			switch f {
+			case Log, Log2, Log10:
+				arg = math.Abs(x) + 1e-30
+			case Log1p:
+				arg = math.Abs(x) / 40 // keep > -1
+			case SinPi, CosPi:
+				arg = x / 10
+			case Exp10:
+				arg = x / 2
+			}
+			const p = 120
+			lo := Eval(f, arg, p)
+			hi := Eval(f, arg, 2*p)
+			if hi.Sign() == 0 {
+				if lo.Sign() != 0 {
+					t.Errorf("%v(%v): low-prec nonzero, high-prec zero", f, arg)
+				}
+				continue
+			}
+			diff := new(big.Float).SetPrec(3*p).Sub(lo, hi)
+			diff.Quo(diff, new(big.Float).Abs(hi))
+			d, _ := diff.Float64()
+			if math.Abs(d) > math.Pow(2, -p+ErrLog2) {
+				t.Errorf("%v(%v): cross-precision disagreement %g > 2^-%d", f, arg, d, p-ErrLog2)
+			}
+		}
+	}
+}
+
+func TestConstants(t *testing.T) {
+	pi, _ := Pi(96).Float64()
+	if pi != math.Pi {
+		t.Errorf("Pi(96) rounds to %v, want math.Pi", pi)
+	}
+	ln2, _ := Ln2(96).Float64()
+	if ln2 != math.Ln2 {
+		t.Errorf("Ln2(96) rounds to %v, want math.Ln2", ln2)
+	}
+	ln10, _ := Ln10(96).Float64()
+	if math.Abs(ln10-math.Log(10)) > 1e-15 {
+		t.Errorf("Ln10(96) = %v", ln10)
+	}
+	// Known digits: π to 50 digits.
+	piStr := Pi(200).Text('f', 48)
+	want := "3.141592653589793238462643383279502884197169399375"
+	if piStr != want[:len(piStr)] && piStr[:40] != want[:40] {
+		t.Errorf("Pi digits wrong: %s", piStr)
+	}
+}
+
+func TestReducePi(t *testing.T) {
+	cases := []struct {
+		x    float64
+		L    float64
+		s, c int
+	}{
+		{0.25, 0.25, 1, 1},
+		{0.75, 0.25, 1, -1},
+		{1.25, 0.25, -1, -1},
+		{1.75, 0.25, -1, 1},
+		{2.25, 0.25, 1, 1},
+		{-0.25, 0.25, -1, 1},
+		{0.5, 0.5, 1, 1},
+		{1.0, 0.0, -1, -1},
+	}
+	for _, c := range cases {
+		L, s, cs := reducePi(c.x)
+		if L != c.L || s != c.s || cs != c.c {
+			t.Errorf("reducePi(%v) = (%v,%d,%d), want (%v,%d,%d)", c.x, L, s, cs, c.L, c.s, c.c)
+		}
+	}
+}
+
+func TestReducePiIdentityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		x := (rng.Float64() - 0.5) * 1e4
+		L, s, c := reducePi(x)
+		if L < 0 || L > 0.5 {
+			t.Fatalf("reducePi(%v): L=%v out of [0,0.5]", x, L)
+		}
+		wantS := math.Sin(math.Pi * x)
+		wantC := math.Cos(math.Pi * x)
+		gotS := float64(s) * math.Sin(math.Pi*L)
+		gotC := float64(c) * math.Cos(math.Pi*L)
+		// Double-precision references lose accuracy for large x; the
+		// identity itself is exact, so a modest tolerance suffices.
+		if math.Abs(gotS-wantS) > 1e-9 || math.Abs(gotC-wantC) > 1e-9 {
+			t.Errorf("reducePi(%v): identity violated (s %v vs %v, c %v vs %v)", x, gotS, wantS, gotC, wantC)
+		}
+	}
+}
+
+func TestExp10(t *testing.T) {
+	for _, x := range []float64{0, 1, 2, -3, 0.5, 10, -10, 38} {
+		got, _ := Eval(Exp10, x, 120).Float64()
+		want := math.Pow(10, x)
+		if math.Abs(got-want)/want > 0x1p-45 {
+			t.Errorf("exp10(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestLargeArgs(t *testing.T) {
+	// Values beyond float32 range but well inside double/posit needs.
+	got, _ := Eval(Exp, 200, 160).Float64()
+	if math.Abs(got-math.Exp(200))/math.Exp(200) > 1e-13 {
+		t.Errorf("exp(200) = %v", got)
+	}
+	got, _ = Eval(Log, 1e300, 160).Float64()
+	if math.Abs(got-math.Log(1e300)) > 1e-11 {
+		t.Errorf("log(1e300) = %v", got)
+	}
+	// Subnormal float32-scale inputs.
+	got, _ = Eval(Log, 0x1p-149, 160).Float64()
+	if math.Abs(got-math.Log(0x1p-149)) > 1e-11 {
+		t.Errorf("log(2^-149) = %v", got)
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	if Exp.String() != "exp" || CosPi.String() != "cospi" {
+		t.Error("Func.String names wrong")
+	}
+	if Func(99).String() == "" {
+		t.Error("out-of-range Func should still format")
+	}
+}
+
+func BenchmarkEvalExp96(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Eval(Exp, 1.2345+float64(i%7)*0.1, 96)
+	}
+}
+
+func BenchmarkEvalSinPi96(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Eval(SinPi, 0.1234+float64(i%7)*0.05, 96)
+	}
+}
+
+func BenchmarkEvalLog96(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Eval(Log, 1.2345+float64(i%7)*0.1, 96)
+	}
+}

@@ -1,0 +1,567 @@
+// Package checks implements the correctness harness behind the Table 1
+// and Table 2 reproductions: it compares each library's output against
+// the oracle over a deterministic, representation-proportional sample
+// (every exponent/regime plus dense windows at special-case
+// boundaries) and counts wrong results.
+package checks
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"rlibm32/internal/baselines"
+	"rlibm32/internal/bigfp"
+	"rlibm32/internal/interval"
+	"rlibm32/internal/libm"
+	"rlibm32/internal/minifloat"
+	"rlibm32/internal/miniposit"
+	"rlibm32/internal/oracle"
+	"rlibm32/posit32"
+	"rlibm32/posit32/positmath"
+
+	rlibm "rlibm32"
+)
+
+// OracleFunc maps a function name to its bigfp oracle identity.
+var OracleFunc = map[string]bigfp.Func{
+	"ln": bigfp.Log, "log2": bigfp.Log2, "log10": bigfp.Log10,
+	"exp": bigfp.Exp, "exp2": bigfp.Exp2, "exp10": bigfp.Exp10,
+	"sinh": bigfp.Sinh, "cosh": bigfp.Cosh,
+	"sinpi": bigfp.SinPi, "cospi": bigfp.CosPi,
+}
+
+// Result is one cell of Table 1/2: the number of wrong results a
+// library produced on the sample, plus an example input.
+type Result struct {
+	Library string
+	Func    string
+	Tested  int
+	Wrong   int
+	Example float64 // an input with a wrong result (if Wrong > 0)
+}
+
+// Correct reports the table checkmark: zero wrong results.
+func (r Result) Correct() bool { return r.Wrong == 0 }
+
+// SampleFloat32 yields n deterministic float32 inputs: ordinal-uniform
+// over all finite values plus 2^win values around every power of two
+// and around zero (where special-case cutoffs live).
+func SampleFloat32(n int) []float32 {
+	var xs []float32
+	seen := make(map[int32]struct{}, n)
+	add := func(o int32) {
+		if _, dup := seen[o]; dup {
+			return
+		}
+		v := fromOrd32(o)
+		if v != v { // NaN block
+			return
+		}
+		seen[o] = struct{}{}
+		xs = append(xs, v)
+	}
+	lo, hi := ord32(float32(math.Inf(-1)))+1, ord32(float32(math.Inf(1)))-1
+	span := int64(hi) - int64(lo)
+	stride := span / int64(n)
+	if stride < 1 {
+		stride = 1
+	}
+	for o := int64(lo); o <= int64(hi); o += stride {
+		add(int32(o))
+	}
+	// Boundary windows: around ±2^k for every exponent, and around 0.
+	for e := -149; e <= 127; e++ {
+		for _, s := range [2]float32{1, -1} {
+			b := ord32(s * float32(math.Ldexp(1, e)))
+			for d := int32(-8); d <= 8; d++ {
+				add(b + d)
+			}
+		}
+	}
+	for d := int32(-64); d <= 64; d++ {
+		add(d)
+	}
+	return xs
+}
+
+// SamplePosit32 yields n deterministic posit inputs covering every
+// regime.
+func SamplePosit32(n int) []posit32.Posit {
+	var ps []posit32.Posit
+	stride := uint32((uint64(1) << 32) / uint64(n))
+	if stride == 0 {
+		stride = 1
+	}
+	for b := uint64(0); b < 1<<32; b += uint64(stride) {
+		p := posit32.FromBits(uint32(b))
+		if p.IsNaR() {
+			continue
+		}
+		ps = append(ps, p)
+	}
+	// Regime boundaries: ±2^(4k).
+	for k := -30; k <= 30; k++ {
+		base := posit32.FromFloat64(math.Ldexp(1, 4*k))
+		for d := -8; d <= 8; d++ {
+			q := posit32.FromBits(uint32(int32(base.Bits()) + int32(d)))
+			if !q.IsNaR() {
+				ps = append(ps, q)
+			}
+		}
+	}
+	return ps
+}
+
+func ord32(f float32) int32 {
+	b := int32(math.Float32bits(f))
+	if b < 0 {
+		b = int32(-0x80000000) - b
+	}
+	return b
+}
+
+func fromOrd32(i int32) float32 {
+	if i < 0 {
+		i = int32(-0x80000000) - i
+	}
+	return math.Float32frombits(uint32(i))
+}
+
+// float32Impl returns the implementation of name in the given library
+// ("rlibm" or a baselines.Library).
+func float32Impl(lib, name string) func(float32) float32 {
+	if lib == "rlibm" {
+		f, _ := rlibm.Func(name)
+		return f
+	}
+	return baselines.Func32(baselines.Library(lib), name)
+}
+
+// CheckFloat32 produces one Table 1 row cell: wrong-result count for
+// the library's implementation of name over xs.
+func CheckFloat32(lib, name string, xs []float32) Result {
+	f := float32Impl(lib, name)
+	res := Result{Library: lib, Func: name}
+	if f == nil {
+		res.Tested = -1 // N/A
+		return res
+	}
+	of := OracleFunc[name]
+	workers := runtime.GOMAXPROCS(0)
+	type acc struct {
+		wrong   int
+		example float64
+	}
+	accs := make([]acc, workers)
+	var wg sync.WaitGroup
+	chunk := (len(xs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, x := range xs[lo:hi] {
+				got := f(x)
+				want := oracle.Float32(of, float64(x))
+				if !same32(got, want) {
+					accs[w].wrong++
+					if accs[w].example == 0 {
+						accs[w].example = float64(x)
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	res.Tested = len(xs)
+	for _, a := range accs {
+		res.Wrong += a.wrong
+		if res.Example == 0 {
+			res.Example = a.example
+		}
+	}
+	return res
+}
+
+func same32(a, b float32) bool {
+	if a != a && b != b {
+		return true
+	}
+	return a == b
+}
+
+// CheckPosit32 produces one Table 2 cell.
+func CheckPosit32(lib, name string, ps []posit32.Posit) Result {
+	var f func(posit32.Posit) posit32.Posit
+	if lib == "rlibm" {
+		f, _ = positmath.Func(name)
+	} else {
+		f = baselines.FuncPosit(baselines.Library(lib), name)
+	}
+	res := Result{Library: lib, Func: name}
+	if f == nil {
+		res.Tested = -1
+		return res
+	}
+	of := OracleFunc[name]
+	tgt := interval.Posit32Target{}
+	workers := runtime.GOMAXPROCS(0)
+	type acc struct {
+		wrong   int
+		example float64
+	}
+	accs := make([]acc, workers)
+	var wg sync.WaitGroup
+	chunk := (len(ps) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(ps) {
+			hi = len(ps)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, p := range ps[lo:hi] {
+				x := p.Float64()
+				if name == "ln" || name == "log2" || name == "log10" {
+					if x <= 0 {
+						continue // NaR result; all libraries agree trivially
+					}
+				}
+				got := f(p)
+				wantF, ok := oracle.Target(tgt, of, x)
+				var want posit32.Posit
+				if !ok {
+					want = posit32.NaR
+				} else {
+					want = posit32.FromFloat64(wantF)
+				}
+				if got != want {
+					accs[w].wrong++
+					if accs[w].example == 0 {
+						accs[w].example = x
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	res.Tested = len(ps)
+	for _, a := range accs {
+		res.Wrong += a.wrong
+		if res.Example == 0 {
+			res.Example = a.example
+		}
+	}
+	return res
+}
+
+// CheckMini runs the *exhaustive* correctness check for a 16-bit
+// variant ("bfloat16", "float16" or "posit16"): every one of the 65536
+// bit patterns is compared against the oracle — the same
+// full-input-space guarantee the paper establishes for its libraries.
+func CheckMini(variant, lib, name string) Result {
+	if variant == "posit16" {
+		return checkPosit16(lib, name)
+	}
+	var f minifloat.Format
+	var tgt interval.Target
+	switch variant {
+	case "bfloat16":
+		f, tgt = minifloat.BFloat16, interval.BFloat16Target()
+	case "float16":
+		f, tgt = minifloat.Binary16, interval.Float16Target()
+	default:
+		panic("checks: unknown mini variant " + variant)
+	}
+	var impl func(float64) float64
+	if lib == "rlibm" {
+		impl, _ = libm.Lookup(variant, name)
+	} else {
+		impl = baselines.Func64(baselines.Library(lib), name)
+	}
+	res := Result{Library: lib, Func: name}
+	if impl == nil {
+		res.Tested = -1
+		return res
+	}
+	of := OracleFunc[name]
+	workers := runtime.GOMAXPROCS(0)
+	type acc struct {
+		wrong   int
+		tested  int
+		example float64
+	}
+	accs := make([]acc, workers)
+	var wg sync.WaitGroup
+	chunk := (1 << 16) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if w == workers-1 {
+			hi = 1 << 16
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for b := lo; b < hi; b++ {
+				bits := uint16(b)
+				if f.IsNaN(bits) {
+					continue
+				}
+				x := f.ToFloat64(bits)
+				got := f.FromFloat64(impl(x))
+				wantF, ok := oracle.Target(tgt, of, x)
+				var want uint16
+				if !ok {
+					want = f.NaN()
+				} else {
+					want = f.FromFloat64(wantF)
+				}
+				accs[w].tested++
+				same := got == want ||
+					(f.IsNaN(got) && f.IsNaN(want)) ||
+					(f.ToFloat64(got) == 0 && f.ToFloat64(want) == 0)
+				if !same {
+					accs[w].wrong++
+					if accs[w].example == 0 {
+						accs[w].example = x
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, a := range accs {
+		res.Tested += a.tested
+		res.Wrong += a.wrong
+		if res.Example == 0 {
+			res.Example = a.example
+		}
+	}
+	return res
+}
+
+// CheckFloat32Multi checks several libraries against one oracle pass
+// (the oracle dominates cost, so sharing it across libraries makes the
+// Table 1 harness ~5x faster than separate CheckFloat32 calls).
+func CheckFloat32Multi(libs []string, name string, xs []float32) []Result {
+	fs := make([]func(float32) float32, len(libs))
+	out := make([]Result, len(libs))
+	for i, lib := range libs {
+		fs[i] = float32Impl(lib, name)
+		out[i] = Result{Library: lib, Func: name, Tested: len(xs)}
+		if fs[i] == nil {
+			out[i].Tested = -1
+		}
+	}
+	of := OracleFunc[name]
+	workers := runtime.GOMAXPROCS(0)
+	type acc struct {
+		wrong   []int
+		example []float64
+	}
+	accs := make([]acc, workers)
+	var wg sync.WaitGroup
+	chunk := (len(xs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			accs[w].wrong = make([]int, len(libs))
+			accs[w].example = make([]float64, len(libs))
+			for _, x := range xs[lo:hi] {
+				want := oracle.Float32(of, float64(x))
+				for i, f := range fs {
+					if f == nil {
+						continue
+					}
+					if got := f(x); !same32(got, want) {
+						accs[w].wrong[i]++
+						if accs[w].example[i] == 0 {
+							accs[w].example[i] = float64(x)
+						}
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, a := range accs {
+		for i := range libs {
+			if a.wrong == nil {
+				continue
+			}
+			out[i].Wrong += a.wrong[i]
+			if out[i].Example == 0 {
+				out[i].Example = a.example[i]
+			}
+		}
+	}
+	return out
+}
+
+// CheckPosit32Multi is the shared-oracle variant for Table 2.
+func CheckPosit32Multi(libs []string, name string, ps []posit32.Posit) []Result {
+	fs := make([]func(posit32.Posit) posit32.Posit, len(libs))
+	out := make([]Result, len(libs))
+	for i, lib := range libs {
+		if lib == "rlibm" {
+			fs[i], _ = positmath.Func(name)
+		} else {
+			fs[i] = baselines.FuncPosit(baselines.Library(lib), name)
+		}
+		out[i] = Result{Library: lib, Func: name, Tested: len(ps)}
+		if fs[i] == nil {
+			out[i].Tested = -1
+		}
+	}
+	of := OracleFunc[name]
+	tgt := interval.Posit32Target{}
+	workers := runtime.GOMAXPROCS(0)
+	type acc struct {
+		wrong   []int
+		example []float64
+	}
+	accs := make([]acc, workers)
+	var wg sync.WaitGroup
+	chunk := (len(ps) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(ps) {
+			hi = len(ps)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			accs[w].wrong = make([]int, len(libs))
+			accs[w].example = make([]float64, len(libs))
+			for _, p := range ps[lo:hi] {
+				x := p.Float64()
+				if (name == "ln" || name == "log2" || name == "log10") && x <= 0 {
+					continue
+				}
+				wantF, ok := oracle.Target(tgt, of, x)
+				var want posit32.Posit
+				if !ok {
+					want = posit32.NaR
+				} else {
+					want = posit32.FromFloat64(wantF)
+				}
+				for i, f := range fs {
+					if f == nil {
+						continue
+					}
+					if got := f(p); got != want {
+						accs[w].wrong[i]++
+						if accs[w].example[i] == 0 {
+							accs[w].example[i] = x
+						}
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, a := range accs {
+		for i := range libs {
+			if a.wrong == nil {
+				continue
+			}
+			out[i].Wrong += a.wrong[i]
+			if out[i].Example == 0 {
+				out[i].Example = a.example[i]
+			}
+		}
+	}
+	return out
+}
+
+// checkPosit16 is the exhaustive posit16 harness (all 65536 patterns).
+func checkPosit16(lib, name string) Result {
+	tgt := interval.Posit16Target()
+	var impl func(float64) float64
+	if lib == "rlibm" {
+		impl, _ = libm.Lookup("posit16", name)
+	} else {
+		impl = baselines.Func64(baselines.Library(lib), name)
+	}
+	res := Result{Library: lib, Func: name}
+	if impl == nil {
+		res.Tested = -1
+		return res
+	}
+	of := OracleFunc[name]
+	workers := runtime.GOMAXPROCS(0)
+	type acc struct {
+		wrong   int
+		tested  int
+		example float64
+	}
+	accs := make([]acc, workers)
+	var wg sync.WaitGroup
+	chunk := (1 << 16) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if w == workers-1 {
+			hi = 1 << 16
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for b := lo; b < hi; b++ {
+				bits := uint16(b)
+				if miniposit.IsNaR(bits) {
+					continue
+				}
+				x := miniposit.ToFloat64(bits)
+				if (name == "ln" || name == "log2" || name == "log10") && x <= 0 {
+					continue
+				}
+				got := miniposit.FromFloat64(impl(x))
+				wantF, ok := oracle.Target(tgt, of, x)
+				var want uint16
+				if !ok {
+					want = miniposit.NaR
+				} else {
+					want = miniposit.FromFloat64(wantF)
+				}
+				accs[w].tested++
+				if got != want {
+					accs[w].wrong++
+					if accs[w].example == 0 {
+						accs[w].example = x
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, a := range accs {
+		res.Tested += a.tested
+		res.Wrong += a.wrong
+		if res.Example == 0 {
+			res.Example = a.example
+		}
+	}
+	return res
+}

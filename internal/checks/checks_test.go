@@ -1,0 +1,91 @@
+package checks
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSampleFloat32Properties(t *testing.T) {
+	xs := SampleFloat32(50000)
+	if len(xs) < 50000 {
+		t.Fatalf("sample too small: %d", len(xs))
+	}
+	seen := map[float32]struct{}{}
+	negatives, positives := 0, 0
+	for _, x := range xs {
+		if x != x {
+			t.Fatal("NaN in sample")
+		}
+		if _, dup := seen[x]; dup {
+			t.Fatalf("duplicate %v", x)
+		}
+		seen[x] = struct{}{}
+		if x < 0 {
+			negatives++
+		} else {
+			positives++
+		}
+	}
+	// Representation-proportional: both signs well represented.
+	if negatives < len(xs)/3 || positives < len(xs)/3 {
+		t.Errorf("sign imbalance: %d negative, %d positive", negatives, positives)
+	}
+	// Boundary windows: all neighbours of 1.0 present.
+	one := float32(1)
+	for i := 0; i < 8; i++ {
+		if _, ok := seen[one]; !ok {
+			t.Errorf("missing boundary window value %v", one)
+		}
+		one = math.Nextafter32(one, 2)
+	}
+	// Subnormals and huge values present.
+	var hasSub, hasHuge bool
+	for x := range seen {
+		ax := x
+		if ax < 0 {
+			ax = -ax
+		}
+		if ax > 0 && ax < 0x1p-126 {
+			hasSub = true
+		}
+		if ax > 0x1p100 {
+			hasHuge = true
+		}
+	}
+	if !hasSub || !hasHuge {
+		t.Error("sample must span subnormals and huge values")
+	}
+}
+
+func TestSamplePosit32Properties(t *testing.T) {
+	ps := SamplePosit32(50000)
+	if len(ps) < 40000 {
+		t.Fatalf("sample too small: %d", len(ps))
+	}
+	for _, p := range ps {
+		if p.IsNaR() {
+			t.Fatal("NaR in sample")
+		}
+	}
+}
+
+func TestCheckFloat32MultiAgreesWithSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle-heavy")
+	}
+	xs := SampleFloat32(3000)
+	libs := []string{"rlibm", "fastfloat"}
+	multi := CheckFloat32Multi(libs, "exp", xs)
+	for i, lib := range libs {
+		single := CheckFloat32(lib, "exp", xs)
+		if multi[i].Wrong != single.Wrong {
+			t.Errorf("%s: multi=%d single=%d", lib, multi[i].Wrong, single.Wrong)
+		}
+	}
+}
+
+func TestResultCorrect(t *testing.T) {
+	if !(Result{Wrong: 0}).Correct() || (Result{Wrong: 1}).Correct() {
+		t.Error("Correct() misreports")
+	}
+}

@@ -1,0 +1,245 @@
+package dd
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// toBig converts a DD to an exact big.Float.
+func toBig(a DD) *big.Float {
+	x := new(big.Float).SetPrec(200).SetFloat64(a.Hi)
+	y := new(big.Float).SetPrec(200).SetFloat64(a.Lo)
+	return x.Add(x, y)
+}
+
+// relErr returns |got-want|/|want| as a float64, where want is an exact
+// big.Float; returns 0 when want == 0 and got == 0.
+func relErr(got DD, want *big.Float) float64 {
+	g := toBig(got)
+	diff := new(big.Float).SetPrec(200).Sub(g, want)
+	if want.Sign() == 0 {
+		f, _ := diff.Float64()
+		return math.Abs(f)
+	}
+	diff.Quo(diff, new(big.Float).Abs(want))
+	f, _ := diff.Float64()
+	return math.Abs(f)
+}
+
+// gen yields a "reasonable" float64 from raw bits: finite, magnitude in
+// [2^-300, 2^300], avoiding extremes where DD invariants legitimately
+// degrade (overflow of products etc.).
+func gen(bits uint64) (float64, bool) {
+	x := math.Float64frombits(bits)
+	if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+		return 0, false
+	}
+	e := math.Abs(math.Log2(math.Abs(x)))
+	if e > 300 {
+		return 0, false
+	}
+	return x, true
+}
+
+func TestTwoSumExact(t *testing.T) {
+	f := func(ab, bb uint64) bool {
+		a, ok := gen(ab)
+		if !ok {
+			return true
+		}
+		b, ok := gen(bb)
+		if !ok {
+			return true
+		}
+		s, e := TwoSum(a, b)
+		if math.IsInf(s, 0) {
+			return true
+		}
+		// a+b == s+e exactly, in big.Float arithmetic.
+		want := new(big.Float).SetPrec(200).SetFloat64(a)
+		want.Add(want, new(big.Float).SetPrec(200).SetFloat64(b))
+		got := new(big.Float).SetPrec(200).SetFloat64(s)
+		got.Add(got, new(big.Float).SetPrec(200).SetFloat64(e))
+		return want.Cmp(got) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoProdExact(t *testing.T) {
+	f := func(ab, bb uint64) bool {
+		a, ok := gen(ab)
+		if !ok {
+			return true
+		}
+		b, ok := gen(bb)
+		if !ok {
+			return true
+		}
+		p, e := TwoProd(a, b)
+		if math.IsInf(p, 0) {
+			return true
+		}
+		want := new(big.Float).SetPrec(200).SetFloat64(a)
+		want.Mul(want, new(big.Float).SetPrec(200).SetFloat64(b))
+		got := new(big.Float).SetPrec(200).SetFloat64(p)
+		got.Add(got, new(big.Float).SetPrec(200).SetFloat64(e))
+		return want.Cmp(got) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddAccuracy(t *testing.T) {
+	f := func(ab, bb uint64) bool {
+		a, ok := gen(ab)
+		if !ok {
+			return true
+		}
+		b, ok := gen(bb)
+		if !ok {
+			return true
+		}
+		x, y := FromFloat64(a), FromFloat64(b)
+		got := Add(x, y)
+		want := new(big.Float).SetPrec(200).SetFloat64(a)
+		want.Add(want, new(big.Float).SetPrec(200).SetFloat64(b))
+		return relErr(got, want) < 0x1p-100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAccuracy(t *testing.T) {
+	f := func(ab, bb, cb, db uint64) bool {
+		a, ok := gen(ab)
+		if !ok {
+			return true
+		}
+		b, ok := gen(bb)
+		if !ok {
+			return true
+		}
+		c, ok := gen(cb)
+		if !ok {
+			return true
+		}
+		d, ok := gen(db)
+		if !ok {
+			return true
+		}
+		// Build nontrivial DDs: exact products of random doubles.
+		x := MulFF(a, b)
+		y := MulFF(c, d)
+		if math.IsInf(x.Hi, 0) || math.IsInf(y.Hi, 0) || x.Hi == 0 || y.Hi == 0 {
+			return true
+		}
+		got := Mul(x, y)
+		if math.IsInf(got.Hi, 0) || got.Hi == 0 {
+			return true
+		}
+		want := new(big.Float).SetPrec(300).Mul(toBig(x), toBig(y))
+		return relErr(got, want) < 0x1p-98
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivAccuracy(t *testing.T) {
+	f := func(ab, bb uint64) bool {
+		a, ok := gen(ab)
+		if !ok {
+			return true
+		}
+		b, ok := gen(bb)
+		if !ok {
+			return true
+		}
+		got := Div(FromFloat64(a), FromFloat64(b))
+		if math.IsInf(got.Hi, 0) || got.Hi == 0 {
+			return true
+		}
+		want := new(big.Float).SetPrec(300).Quo(
+			new(big.Float).SetPrec(300).SetFloat64(a),
+			new(big.Float).SetPrec(300).SetFloat64(b))
+		return relErr(got, want) < 0x1p-98
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	one := FromFloat64(1)
+	onePlus := DD{1, 0x1p-80}
+	if Cmp(one, onePlus) != -1 || Cmp(onePlus, one) != 1 || Cmp(one, one) != 0 {
+		t.Error("Cmp misorders DD values differing only in Lo")
+	}
+}
+
+func TestScaleExact(t *testing.T) {
+	a := MulFF(1.1, 1.3)
+	b := Scale(a, 10)
+	if b.Hi != a.Hi*1024 || b.Lo != a.Lo*1024 {
+		t.Error("Scale should multiply both limbs by 2^k")
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	// p(x) = 1 + 2x + 3x^2 at x = 0.5 -> 1 + 1 + 0.75 = 2.75.
+	got := PolyEval([]float64{1, 2, 3}, FromFloat64(0.5))
+	if got.Float64() != 2.75 {
+		t.Errorf("PolyEval = %v, want 2.75", got.Float64())
+	}
+	if PolyEval(nil, FromFloat64(1)).Float64() != 0 {
+		t.Error("empty polynomial should evaluate to 0")
+	}
+}
+
+func TestAbsNeg(t *testing.T) {
+	a := DD{-1, -0x1p-60}
+	if Abs(a) != (DD{1, 0x1p-60}) {
+		t.Errorf("Abs(%v) = %v", a, Abs(a))
+	}
+	if Neg(Neg(a)) != a {
+		t.Error("Neg not involutive")
+	}
+	// Hi == 0 but Lo < 0 counts as negative.
+	b := DD{0, -0x1p-300}
+	if Abs(b).Lo <= 0 {
+		t.Error("Abs should flip a DD with Hi==0, Lo<0")
+	}
+}
+
+func TestAddFMatchesAdd(t *testing.T) {
+	f := func(ab, bb, cb uint64) bool {
+		a, ok := gen(ab)
+		if !ok {
+			return true
+		}
+		b, ok := gen(bb)
+		if !ok {
+			return true
+		}
+		c, ok := gen(cb)
+		if !ok {
+			return true
+		}
+		x := MulFF(a, b)
+		got := AddF(x, c)
+		want := new(big.Float).SetPrec(300).Add(toBig(x), new(big.Float).SetPrec(300).SetFloat64(c))
+		if want.Sign() == 0 {
+			return true
+		}
+		return relErr(got, want) < 0x1p-95
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

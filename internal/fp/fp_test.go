@@ -1,0 +1,206 @@
+package fp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderedInt64Monotone(t *testing.T) {
+	vals := []float64{
+		math.Inf(-1), -math.MaxFloat64, -1e300, -2, -1, -0.5,
+		-math.SmallestNonzeroFloat64, math.Copysign(0, -1), 0,
+		math.SmallestNonzeroFloat64, 0.5, 1, 2, 1e300, math.MaxFloat64, math.Inf(1),
+	}
+	for i := 1; i < len(vals); i++ {
+		if OrderedInt64(vals[i-1]) >= OrderedInt64(vals[i]) {
+			t.Errorf("OrderedInt64 not strictly increasing at %v -> %v", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestOrderedInt64Roundtrip(t *testing.T) {
+	f := func(bits uint64) bool {
+		x := math.Float64frombits(bits)
+		if math.IsNaN(x) {
+			return true
+		}
+		y := FromOrderedInt64(OrderedInt64(x))
+		return math.Float64bits(y) == math.Float64bits(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderedInt32Roundtrip(t *testing.T) {
+	f := func(bits uint32) bool {
+		x := math.Float32frombits(bits)
+		if IsNaN32(x) {
+			return true
+		}
+		y := FromOrderedInt32(OrderedInt32(x))
+		return math.Float32bits(y) == math.Float32bits(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextUpDown64(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, math.SmallestNonzeroFloat64},
+		{math.Copysign(0, -1), math.SmallestNonzeroFloat64},
+		{1, 1 + 0x1p-52},
+		{math.MaxFloat64, math.Inf(1)},
+		{math.Inf(1), math.Inf(1)},
+		{-math.SmallestNonzeroFloat64, math.Copysign(0, -1)},
+	}
+	for _, c := range cases {
+		if got := NextUp64(c.in); math.Float64bits(got) != math.Float64bits(c.want) {
+			t.Errorf("NextUp64(%v) = %v (bits %x), want %v", c.in, got, math.Float64bits(got), c.want)
+		}
+	}
+	// NextDown is the inverse of NextUp on finite nonzero values
+	// (NextUp treats both zeros as +0 per IEEE nextUp, so zeros are
+	// excluded from the inverse property).
+	f := func(bits uint64) bool {
+		x := math.Float64frombits(bits)
+		if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+			return true
+		}
+		up := NextUp64(x)
+		if math.IsInf(up, 1) {
+			return true
+		}
+		d := NextDown64(up)
+		// -0/+0 are distinct positions; compare in ordered space.
+		return OrderedInt64(d) == OrderedInt64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextUp64Increases(t *testing.T) {
+	f := func(bits uint64) bool {
+		x := math.Float64frombits(bits)
+		if math.IsNaN(x) || math.IsInf(x, 1) {
+			return true
+		}
+		return NextUp64(x) > x || (x == 0 && NextUp64(x) > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepBy64(t *testing.T) {
+	if got := StepBy64(1.0, 3); got != NextUp64(NextUp64(NextUp64(1.0))) {
+		t.Errorf("StepBy64(1,3) = %v", got)
+	}
+	if got := StepBy64(1.0, -1); got != NextDown64(1.0) {
+		t.Errorf("StepBy64(1,-1) = %v", got)
+	}
+	if got := StepBy64(math.MaxFloat64, 1<<40); !math.IsInf(got, 1) {
+		t.Errorf("StepBy64 should saturate at +Inf, got %v", got)
+	}
+	if got := StepBy64(-math.MaxFloat64, -(1 << 40)); !math.IsInf(got, -1) {
+		t.Errorf("StepBy64 should saturate at -Inf, got %v", got)
+	}
+}
+
+func TestStepsBetween64(t *testing.T) {
+	f := func(bits uint64, k int16) bool {
+		x := math.Float64frombits(bits)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		y := StepBy64(x, int64(k))
+		if math.IsInf(y, 0) {
+			return true // saturated
+		}
+		return StepsBetween64(x, y) == int64(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMidpoint32Exact(t *testing.T) {
+	f := func(bits uint32) bool {
+		a := math.Float32frombits(bits)
+		if IsNaN32(a) || IsInf32(a, 0) {
+			return true
+		}
+		b := NextUp32(a)
+		if IsInf32(b, 0) {
+			return true
+		}
+		m := Midpoint32(a, b)
+		// The midpoint must be strictly between a and b as doubles
+		// (adjacent float32 values are >= 2^-149 apart; the double
+		// midpoint is exact and distinct from both endpoints).
+		return float64(a) < m && m < float64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMantissaEven(t *testing.T) {
+	if !MantissaEven32(1.0) {
+		t.Error("1.0 has even mantissa")
+	}
+	if MantissaEven32(math.Float32frombits(math.Float32bits(1.0) | 1)) {
+		t.Error("1.0+ulp has odd mantissa")
+	}
+}
+
+func TestExp32(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want int
+	}{
+		{1, 0}, {2, 1}, {0.5, -1}, {3, 1}, {0x1p-126, -126},
+		{0x1p-149, -149}, {0x1p-130, -130}, {math.MaxFloat32, 127},
+	}
+	for _, c := range cases {
+		if got := Exp32(c.in); got != c.want {
+			t.Errorf("Exp32(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUlp(t *testing.T) {
+	if got := Ulp32(1.0); got != 0x1p-23 {
+		t.Errorf("Ulp32(1) = %v, want 2^-23", got)
+	}
+	if got := Ulp64(1.0); got != 0x1p-52 {
+		t.Errorf("Ulp64(1) = %v, want 2^-52", got)
+	}
+	if got := Ulp32(0x1p-149); got != 0x1p-149 {
+		t.Errorf("Ulp32(min subnormal) = %v", got)
+	}
+}
+
+func TestSignBit32(t *testing.T) {
+	if SignBit32(1) || !SignBit32(-1) || !SignBit32(float32(math.Copysign(0, -1))) {
+		t.Error("SignBit32 misclassifies")
+	}
+}
+
+func TestNextUp32Adjacent(t *testing.T) {
+	f := func(bits uint32) bool {
+		x := math.Float32frombits(bits)
+		if IsNaN32(x) || IsInf32(x, 1) {
+			return true
+		}
+		u := NextUp32(x)
+		// There is no float32 strictly between x and u.
+		return OrderedInt32(u)-OrderedInt32(x) == 1 || (x == 0 && u == math.Float32frombits(1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package gentool
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rlibm32/internal/piecewise"
+	"rlibm32/internal/polygen"
+	"rlibm32/internal/rangered"
+)
+
+// TestLitExact: every finite float64 must round-trip through the
+// emitted hexadecimal literal bit-for-bit — the committed tables depend
+// on it.
+func TestLitExact(t *testing.T) {
+	f := func(bits uint64) bool {
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			return true
+		}
+		s := lit(v)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return false
+		}
+		return math.Float64bits(back) == bits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLitSpecials(t *testing.T) {
+	if lit(math.NaN()) != "math.NaN()" || lit(math.Inf(1)) != "math.Inf(1)" ||
+		lit(math.Inf(-1)) != "math.Inf(-1)" || lit(0) != "0" {
+		t.Error("special literals wrong")
+	}
+	if lit(math.Copysign(0, -1)) != "math.Copysign(0, -1)" {
+		t.Error("negative zero literal wrong")
+	}
+}
+
+func TestEmitGoShape(t *testing.T) {
+	fam := &rangered.LogFamily{
+		FName: "ln", F: 3, Red: 6, TabBits: 7,
+		Scale: math.Ln2, FTab: []float64{0, 0.5},
+		ZeroResult: math.Inf(-1), MaxInput: 1, MinInput: 0.5,
+		PolyTerms: []int{1, 2, 3},
+	}
+	res := &Result{
+		Name: "ln",
+		Fam:  fam,
+		Pieces: []*polygen.Piecewise{{
+			Pos: &piecewise.Table{
+				Terms: []int{1, 2, 3}, Kind: piecewise.NoConst,
+				N: 1, Shift: 52, MinBits: 1, MaxBits: 2,
+				Coeffs: []float64{1, -0.5, 1.0 / 3, 1, -0.5, 1.0 / 3},
+			},
+		}},
+	}
+	src := EmitGo([]*Result{res}, rangered.VFloat32)
+	for _, want := range []string{
+		"package libm",
+		"genLnF32",
+		"rangered.LogFamily",
+		"piecewise.Table",
+		"float32Impls = []*impl{",
+		"TabBits: 7",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted source missing %q", want)
+		}
+	}
+	// Determinism.
+	if src != EmitGo([]*Result{res}, rangered.VFloat32) {
+		t.Error("emission not deterministic")
+	}
+}
+
+func TestEmitStatsJSON(t *testing.T) {
+	src := EmitStats([]Stats{{Name: "exp", Variant: "float32", Inputs: 7}})
+	if !strings.Contains(src, "GenStatsJSON") || !strings.Contains(src, `"exp"`) {
+		t.Error("stats emission malformed")
+	}
+}

@@ -1,0 +1,99 @@
+package gentool
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"rlibm32/internal/rangered"
+)
+
+func TestSampleOrdinalsProperties(t *testing.T) {
+	fam, err := rangered.Build("exp", rangered.VFloat32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := rangered.VFloat32.Target()
+	xs := sampleOrdinals(tgt, fam, 5000, 64, 0)
+	if len(xs) < 5000 {
+		t.Fatalf("sample too small: %d", len(xs))
+	}
+	if !sort.Float64sAreSorted(xs) {
+		t.Fatal("sample not sorted")
+	}
+	seen := map[float64]struct{}{}
+	for _, x := range xs {
+		if _, dup := seen[x]; dup {
+			t.Fatalf("duplicate sample %v", x)
+		}
+		seen[x] = struct{}{}
+		if _, sp := fam.Special(x); sp {
+			t.Fatalf("special-case input %v sampled", x)
+		}
+		if !inDomains(fam, x) {
+			t.Fatalf("sample %v outside domains", x)
+		}
+		if float64(float32(x)) != x {
+			t.Fatalf("sample %v is not an exact float32 embedding", x)
+		}
+	}
+	// Phase shift moves the stride lattice (the boundary windows are
+	// deliberately identical in both phases, so only partial
+	// independence is expected).
+	ys := sampleOrdinals(tgt, fam, 5000, 64, 1)
+	common := 0
+	for _, y := range ys {
+		if _, ok := seen[y]; ok {
+			common++
+		}
+	}
+	if fresh := len(ys) - common; fresh < len(ys)/5 {
+		t.Errorf("validation lattice brings too few fresh points: %d/%d", fresh, len(ys))
+	}
+}
+
+func TestSampleIncludesPowerOfTwoWindows(t *testing.T) {
+	fam, err := rangered.Build("ln", rangered.VFloat32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := rangered.VFloat32.Target()
+	xs := sampleOrdinals(tgt, fam, 10000, 32, 0)
+	// Every float32 within 32 ulps of 1.0 must be present (the log
+	// family's hardest region).
+	want := map[float64]bool{}
+	x := float32(1.0)
+	for i := 0; i < 32; i++ {
+		want[float64(x)] = false
+		x = math.Nextafter32(x, 2)
+	}
+	for _, v := range xs {
+		if _, ok := want[v]; ok {
+			want[v] = true
+		}
+	}
+	for v, ok := range want {
+		if !ok {
+			t.Errorf("hard-point window missing %v", v)
+		}
+	}
+}
+
+func TestExtraInputsFiltered(t *testing.T) {
+	cfg := Config{
+		Variant:       rangered.VFloat32,
+		InputsPerFunc: 300,
+		ExtraInputs:   []float64{math.NaN(), math.Inf(1), 1e40, 0.5, 200 /*special: overflow*/},
+	}
+	_ = cfg // construction-only sanity; full GenerateFunc is oracle-heavy
+	fam, err := rangered.Build("exp", rangered.VFloat32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inDomains(fam, 0.5) {
+		t.Error("0.5 should be inside exp's domains")
+	}
+	if inDomains(fam, 200) {
+		t.Error("200 should be outside exp's polynomial domains")
+	}
+}

@@ -1,0 +1,164 @@
+package interval
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rlibm32/internal/fp"
+	"rlibm32/posit32"
+)
+
+func TestRounding32Property(t *testing.T) {
+	// Every double inside the interval rounds to y; the doubles just
+	// outside do not.
+	f := func(bits uint32, frac uint64) bool {
+		y := math.Float32frombits(bits)
+		if fp.IsNaN32(y) {
+			_, ok := Rounding32(y)
+			return !ok
+		}
+		iv, ok := Rounding32(y)
+		if !ok {
+			return false
+		}
+		// Endpoints round to y (by value; ±0 equal).
+		if float32(iv.Lo) != y && !(y == 0 && float32(iv.Lo) == 0) {
+			return false
+		}
+		if !math.IsInf(iv.Hi, 1) && float32(iv.Hi) != y && !(y == 0 && float32(iv.Hi) == 0) {
+			return false
+		}
+		// A random interior point rounds to y.
+		if !math.IsInf(iv.Lo, -1) && !math.IsInf(iv.Hi, 1) {
+			span := fp.StepsBetween64(iv.Lo, iv.Hi)
+			if span > 0 {
+				v := fp.StepBy64(iv.Lo, int64(frac%uint64(span+1)))
+				if float32(v) != y && !(y == 0 && float32(v) == 0) {
+					return false
+				}
+			}
+		}
+		// Just outside must not round to y.
+		if !math.IsInf(iv.Lo, -1) {
+			if out := fp.NextDown64(iv.Lo); float32(out) == y && y != 0 {
+				return false
+			}
+		}
+		if !math.IsInf(iv.Hi, 1) {
+			if out := fp.NextUp64(iv.Hi); float32(out) == y && y != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRounding32Zero(t *testing.T) {
+	iv, ok := Rounding32(0)
+	if !ok {
+		t.Fatal("zero must have an interval")
+	}
+	if float32(iv.Hi) != 0 || float32(fp.NextUp64(iv.Hi)) == 0 {
+		t.Errorf("zero interval hi=%v wrong", iv.Hi)
+	}
+}
+
+func TestRounding32Inf(t *testing.T) {
+	iv, ok := Rounding32(float32(math.Inf(1)))
+	if !ok || !math.IsInf(iv.Hi, 1) {
+		t.Fatal("+Inf interval wrong")
+	}
+	if !math.IsInf(float64(float32(iv.Lo)), 1) {
+		t.Errorf("lo=%v of +Inf interval does not round to +Inf", iv.Lo)
+	}
+	if v := fp.NextDown64(iv.Lo); math.IsInf(float64(float32(v)), 1) {
+		t.Errorf("value below +Inf boundary still rounds to +Inf")
+	}
+	// MaxFloat32's interval must abut the overflow boundary.
+	ivm, _ := Rounding32(math.MaxFloat32)
+	if fp.NextUp64(ivm.Hi) != iv.Lo {
+		t.Errorf("MaxFloat32 interval [%v] and +Inf interval [%v] do not tile", ivm.Hi, iv.Lo)
+	}
+}
+
+func TestRoundingPositMatchesPackage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		p := posit32.FromBits(rng.Uint32())
+		if p.IsNaR() {
+			continue
+		}
+		iv, ok := RoundingPosit(p)
+		if !ok {
+			t.Fatal("real posit must have an interval")
+		}
+		if posit32.FromFloat64(iv.Lo) != p || posit32.FromFloat64(iv.Hi) != p {
+			t.Fatalf("posit interval endpoints of %#x do not round back", p)
+		}
+	}
+}
+
+func TestTargetsRoundTripOracleValues(t *testing.T) {
+	targets := []Target{Float32Target{}, Posit32Target{}}
+	rng := rand.New(rand.NewSource(4))
+	for _, tgt := range targets {
+		for i := 0; i < 2000; i++ {
+			x := math.Float64frombits(rng.Uint64())
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			v := tgt.Round(x)
+			// Round is idempotent.
+			if !tgt.SameResult(tgt.Round(v), v) {
+				t.Fatalf("%s: Round not idempotent at %v", tgt.Name(), x)
+			}
+			iv, ok := tgt.Interval(v)
+			if !ok {
+				continue
+			}
+			if !iv.Contains(v) && !(v == 0) {
+				t.Fatalf("%s: interval of %v does not contain it", tgt.Name(), v)
+			}
+			if !tgt.SameResult(tgt.Round(iv.Lo), v) || (!math.IsInf(iv.Hi, 1) && !tgt.SameResult(tgt.Round(iv.Hi), v)) {
+				t.Fatalf("%s: interval endpoints of %v do not round to it", tgt.Name(), v)
+			}
+		}
+	}
+}
+
+func TestRoundBigAgreesWithRound(t *testing.T) {
+	targets := []Target{Float32Target{}, Posit32Target{}}
+	rng := rand.New(rand.NewSource(5))
+	for _, tgt := range targets {
+		for i := 0; i < 500; i++ {
+			x := rng.NormFloat64() * math.Exp(rng.NormFloat64()*20)
+			b := new(big.Float).SetPrec(200).SetFloat64(x)
+			v, ok := tgt.RoundBig(b)
+			if !ok {
+				t.Fatalf("%s: RoundBig rejected finite %v", tgt.Name(), x)
+			}
+			if !tgt.SameResult(v, tgt.Round(x)) {
+				t.Fatalf("%s: RoundBig(%v)=%v != Round=%v", tgt.Name(), x, v, tgt.Round(x))
+			}
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Interval{0, 2}
+	b := Interval{1, 3}
+	c, ok := a.Intersect(b)
+	if !ok || c.Lo != 1 || c.Hi != 2 {
+		t.Errorf("intersect = %v,%v", c, ok)
+	}
+	d := Interval{5, 6}
+	if _, ok := a.Intersect(d); ok {
+		t.Error("disjoint intervals should not intersect")
+	}
+}

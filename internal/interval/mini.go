@@ -1,0 +1,114 @@
+package interval
+
+import (
+	"math"
+	"math/big"
+
+	"rlibm32/internal/minifloat"
+	"rlibm32/internal/miniposit"
+)
+
+// miniTarget adapts a minifloat.Format as a Target. The 16-bit targets
+// exist so the pipeline can be validated *exhaustively* (every one of
+// the 65536 inputs), complementing the sampled validation of the 32-bit
+// targets.
+type miniTarget struct {
+	f    minifloat.Format
+	name string
+}
+
+// BFloat16Target is the bfloat16 (8-bit exponent, 7-bit fraction)
+// target of the original RLIBM work.
+func BFloat16Target() Target {
+	return miniTarget{f: minifloat.BFloat16, name: "bfloat16"}
+}
+
+// Float16Target is the IEEE binary16 target.
+func Float16Target() Target {
+	return miniTarget{f: minifloat.Binary16, name: "float16"}
+}
+
+// Name implements Target.
+func (t miniTarget) Name() string { return t.name }
+
+// RoundBig implements Target.
+func (t miniTarget) RoundBig(v *big.Float) (float64, bool) {
+	return t.f.ToFloat64(t.f.RoundBig(v)), true
+}
+
+// Round implements Target.
+func (t miniTarget) Round(v float64) float64 {
+	return t.f.ToFloat64(t.f.FromFloat64(v))
+}
+
+// Interval implements Target.
+func (t miniTarget) Interval(v float64) (Interval, bool) {
+	lo, hi, ok := t.f.Interval(t.f.FromFloat64(v))
+	return Interval{lo, hi}, ok
+}
+
+// SameResult implements Target.
+func (t miniTarget) SameResult(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return t.Round(a) == t.Round(b)
+}
+
+// Ord implements Target.
+func (t miniTarget) Ord(v float64) int64 {
+	return int64(t.f.Ord(t.f.FromFloat64(v)))
+}
+
+// FromOrd implements Target.
+func (t miniTarget) FromOrd(i int64) float64 {
+	return t.f.ToFloat64(t.f.FromOrd(int32(i)))
+}
+
+// posit16Target adapts internal/miniposit as a Target.
+type posit16Target struct{}
+
+// Posit16Target is the 16-bit posit (es = 2) target — the original
+// RLIBM posit type, here validated exhaustively.
+func Posit16Target() Target { return posit16Target{} }
+
+// Name implements Target.
+func (posit16Target) Name() string { return "posit16" }
+
+// RoundBig implements Target.
+func (posit16Target) RoundBig(v *big.Float) (float64, bool) {
+	p := miniposit.RoundBig(v)
+	if miniposit.IsNaR(p) {
+		return math.NaN(), false
+	}
+	return miniposit.ToFloat64(p), true
+}
+
+// Round implements Target.
+func (posit16Target) Round(v float64) float64 {
+	return miniposit.ToFloat64(miniposit.FromFloat64(v))
+}
+
+// Interval implements Target.
+func (posit16Target) Interval(v float64) (Interval, bool) {
+	lo, hi, ok := miniposit.Interval(miniposit.FromFloat64(v))
+	return Interval{lo, hi}, ok
+}
+
+// SameResult implements Target.
+func (posit16Target) SameResult(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return miniposit.FromFloat64(a) == miniposit.FromFloat64(b)
+}
+
+// Ord implements Target.
+func (posit16Target) Ord(v float64) int64 {
+	return int64(miniposit.Ord(miniposit.FromFloat64(v)))
+}
+
+// FromOrd implements Target.
+func (posit16Target) FromOrd(i int64) float64 {
+	return miniposit.ToFloat64(miniposit.FromOrd(int32(i)))
+}

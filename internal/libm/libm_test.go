@@ -1,0 +1,77 @@
+package libm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCompileMatchesEval verifies that the devirtualized fast paths
+// compute bit-identical results to the generic eval sequence the
+// generator validated — the library's central soundness invariant.
+func TestCompileMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, list := range [][]*impl{float32Impls, posit32Impls} {
+		for _, f := range list {
+			ev := compile(f)
+			for i := 0; i < 200000; i++ {
+				x := math.Float64frombits(rng.Uint64())
+				if math.IsNaN(x) {
+					continue
+				}
+				a := ev(x)
+				b := f.eval(x)
+				if math.Float64bits(a) != math.Float64bits(b) && !(math.IsNaN(a) && math.IsNaN(b)) {
+					t.Fatalf("%s: compiled path diverges at x=%b: %b vs %b", f.name, x, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRegistries(t *testing.T) {
+	if len(float32Impls) != 10 {
+		t.Errorf("expected 10 float32 implementations, got %d", len(float32Impls))
+	}
+	if len(posit32Impls) != 8 {
+		t.Errorf("expected 8 posit32 implementations, got %d", len(posit32Impls))
+	}
+	for _, f := range float32Impls {
+		if len(f.pieces) != len(f.fam.Funcs()) {
+			t.Errorf("%s: %d piecewise tables for %d reduced functions", f.name, len(f.pieces), len(f.fam.Funcs()))
+		}
+	}
+	if _, ok := Lookup("float32", "exp"); !ok {
+		t.Error("Lookup(float32, exp) missing")
+	}
+	if _, ok := Lookup("posit32", "sinpi"); ok {
+		t.Error("posit32 sinpi should not exist (paper Table 2)")
+	}
+}
+
+func TestSpecialsRouteBeforePolynomials(t *testing.T) {
+	impls := Float32Impls()
+	if v := impls["exp"](float32(math.Inf(1))); !math.IsInf(float64(v), 1) {
+		t.Error("exp(+Inf) wrong")
+	}
+	if v := impls["ln"](-2); v == v {
+		t.Error("ln(-2) should be NaN")
+	}
+	xx := float32(5e-8)
+	if v := impls["sinpi"](xx); v != float32(math.Pi*float64(xx)) {
+		t.Errorf("sinpi tiny path = %v", v)
+	}
+	pimpl := Posit32Impls()
+	if v := pimpl["exp"](90); v != 0x1p120 {
+		t.Errorf("posit exp(90) should saturate to MaxPos value, got %v", v)
+	}
+}
+
+func BenchmarkCompiledExpFloat32(b *testing.B) {
+	ev, _ := Lookup("float32", "exp")
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += ev(float64(i%170) - 85)
+	}
+	_ = s
+}

@@ -1,0 +1,205 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Constraint requires the fitted polynomial P to satisfy
+// Lo <= P(X) <= Hi, and asks it to stay as close as possible to the
+// preferred value V (normally the correctly rounded value of the
+// approximated function at X; if V is outside [Lo, Hi] it is clamped).
+// X, Lo, Hi, V are exact rationals.
+type Constraint struct {
+	X  *big.Rat
+	Lo *big.Rat
+	Hi *big.Rat
+	V  *big.Rat // may be nil: defaults to the interval midpoint
+}
+
+// Problem is a polynomial fitting query: find coefficients c_j for the
+// monomial basis x^Terms[j] satisfying every Constraint while staying
+// near the preferred values.
+type Problem struct {
+	// Terms lists the monomial exponents of the polynomial, e.g.
+	// [0,1,2,3] for a dense cubic or [1,3,5] for an odd quintic.
+	Terms []int
+	Cons  []Constraint
+}
+
+// Result reports the outcome of Solve.
+type Result struct {
+	// Feasible is true when coefficients satisfying all hard interval
+	// constraints exist.
+	Feasible bool
+	// Coeffs are the exact rational coefficients, one per term. Valid
+	// only when Feasible.
+	Coeffs []*big.Rat
+	// Dist is the achieved weighted Chebyshev distance to the preferred
+	// values: max_i |P(x_i) − V_i| / w_i with w_i = (Hi_i − Lo_i)/2.
+	// A small Dist means the polynomial tracks the function itself, so
+	// unsampled inputs — whose own rounding intervals also surround the
+	// function — are very likely satisfied too. This objective is the
+	// LP form of the paper's core idea: approximate the correctly
+	// rounded value, not merely any point of the interval.
+	Dist *big.Rat
+}
+
+// RatFromFloat converts a float64 exactly to a big.Rat (panics on
+// non-finite input).
+func RatFromFloat(x float64) *big.Rat {
+	r := new(big.Rat).SetFloat64(x)
+	if r == nil {
+		panic(fmt.Sprintf("lp: non-finite float %v", x))
+	}
+	return r
+}
+
+// Solve minimizes t subject to
+//
+//	|Σ_j c_j x_i^(e_j) − V_i| <= t·w_i   (distance rows)
+//	Lo_i <= Σ_j c_j x_i^(e_j) <= Hi_i    (hard rows)
+//
+// via the dual LP, which has only (number of terms + 1) equality rows
+// regardless of the constraint count. The recovered coefficients are
+// re-verified against every hard constraint in exact arithmetic, so a
+// feasible answer is certified. Infeasibility of the hard rows
+// surfaces as an unbounded dual, reported as Feasible = false.
+func Solve(p *Problem) (*Result, error) {
+	n := len(p.Terms)
+	m := len(p.Cons)
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("lp: empty problem (%d terms, %d constraints)", n, m)
+	}
+	// Primal rows over z = (c, t), as G z <= g:
+	//   row 4i:   +a_i c − w_i t <= v_i
+	//   row 4i+1: −a_i c − w_i t <= −v_i
+	//   row 4i+2: +a_i c         <= h_i
+	//   row 4i+3: −a_i c         <= −l_i
+	// Dual: min gᵀy s.t. Σ_i a_i (y0−y1+y2−y3) = 0 per term,
+	//       Σ_i w_i (y0+y1) = 1, y >= 0.
+	cols := 4 * m
+	rows := n + 1
+	a := make([][]*big.Rat, rows)
+	for i := range a {
+		a[i] = make([]*big.Rat, cols)
+		for j := range a[i] {
+			a[i][j] = new(big.Rat)
+		}
+	}
+	cost := make([]*big.Rat, cols)
+	b := make([]*big.Rat, rows)
+	for i := range b {
+		b[i] = new(big.Rat)
+	}
+	b[n].SetInt64(1)
+	half := big.NewRat(1, 2)
+	minW := new(big.Rat)
+	for _, con := range p.Cons {
+		w := new(big.Rat).Sub(con.Hi, con.Lo)
+		if w.Sign() > 0 && (minW.Sign() == 0 || w.Cmp(minW) < 0) {
+			minW.Set(w)
+		}
+	}
+	if minW.Sign() == 0 {
+		minW.SetInt64(1) // all constraints are exact points
+	}
+	for i, con := range p.Cons {
+		for j, e := range p.Terms {
+			pw := ratPow(con.X, e)
+			a[j][4*i].Set(pw)
+			a[j][4*i+1].Neg(pw)
+			a[j][4*i+2].Set(pw)
+			a[j][4*i+3].Neg(pw)
+		}
+		w := new(big.Rat).Sub(con.Hi, con.Lo)
+		w.Mul(w, half)
+		if w.Sign() == 0 {
+			w.Set(minW)
+			w.Mul(w, half)
+		}
+		a[n][4*i].Set(w)
+		a[n][4*i+1].Set(w)
+		v := con.V
+		if v == nil {
+			v = new(big.Rat).Add(con.Lo, con.Hi)
+			v.Mul(v, half)
+		} else {
+			if v.Cmp(con.Lo) < 0 {
+				v = con.Lo
+			} else if v.Cmp(con.Hi) > 0 {
+				v = con.Hi
+			}
+		}
+		cost[4*i] = new(big.Rat).Set(v)
+		cost[4*i+1] = new(big.Rat).Neg(v)
+		cost[4*i+2] = new(big.Rat).Set(con.Hi)
+		cost[4*i+3] = new(big.Rat).Neg(con.Lo)
+	}
+	_, _, pi, err := solveStandard(a, b, cost)
+	if err != nil {
+		if err == errUnbounded {
+			// Unbounded dual ⇔ infeasible hard constraints.
+			return &Result{Feasible: false, Dist: nil}, nil
+		}
+		return nil, err
+	}
+	// π = (c_0..c_{n-1}, τ) with τ = −t* (the primal minimizes t).
+	res := &Result{
+		Feasible: true,
+		Coeffs:   pi[:n],
+		Dist:     new(big.Rat).Neg(pi[n]),
+	}
+	// Certify: exact re-check of every hard constraint.
+	for _, con := range p.Cons {
+		v := EvalRat(res.Coeffs, p.Terms, con.X)
+		if v.Cmp(con.Lo) < 0 || v.Cmp(con.Hi) > 0 {
+			return nil, fmt.Errorf("lp: internal error: recovered solution violates a constraint (P(%v)=%v not in [%v,%v])",
+				con.X, v, con.Lo, con.Hi)
+		}
+	}
+	return res, nil
+}
+
+// EvalRat evaluates Σ_j c_j x^(terms_j) exactly.
+func EvalRat(coeffs []*big.Rat, terms []int, x *big.Rat) *big.Rat {
+	v := new(big.Rat)
+	var tmp big.Rat
+	for j, c := range coeffs {
+		tmp.Mul(c, ratPow(x, terms[j]))
+		v.Add(v, &tmp)
+	}
+	return v
+}
+
+func ratPow(x *big.Rat, e int) *big.Rat {
+	r := new(big.Rat).SetInt64(1)
+	if e < 0 {
+		panic("lp: negative exponent")
+	}
+	base := new(big.Rat).Set(x)
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			r.Mul(r, base)
+		}
+		base.Mul(base, base)
+	}
+	return r
+}
+
+// CoeffsToFloat rounds exact rational coefficients to their nearest
+// float64 values (the precision H used by the generated library).
+func CoeffsToFloat(coeffs []*big.Rat) []float64 {
+	out := make([]float64, len(coeffs))
+	for i, c := range coeffs {
+		f, _ := c.Float64()
+		if math.IsInf(f, 0) {
+			// Clamp pathological coefficients; the caller's validation
+			// pass will reject such a polynomial anyway.
+			f = math.Copysign(math.MaxFloat64, f)
+		}
+		out[i] = f
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+// Package lp is this repository's stand-in for SoPlex: an exact linear
+// programming solver over arbitrary-precision rationals (math/big.Rat),
+// specialized to the polynomial-fitting queries issued by the RLIBM-32
+// pipeline.
+//
+// The pipeline's query is: given reduced inputs r_i with reduced
+// intervals [l_i, h_i], find coefficients c such that
+//
+//	l_i <= Σ_j c_j · r_i^(e_j) <= h_i   for all i,
+//
+// where e_j are the monomial exponents (possibly odd/even-restricted).
+// Rather than running simplex on the primal — whose basis would grow
+// with the sample size — Solve maximizes the feasibility margin
+//
+//	max δ  s.t.  l_i + δ <= Σ_j c_j r_i^(e_j) <= h_i − δ
+//
+// and solves the *dual*, which has only (number of terms + 1) equality
+// rows no matter how many constraints the sample contains. The primal
+// coefficients are recovered from the optimal dual multipliers and then
+// re-verified against every constraint in exact arithmetic, so a
+// feasible answer from this package is certified, not just claimed.
+// The margin-maximizing (Chebyshev-style) solution also leaves the
+// largest possible slack for reduced inputs that were not sampled,
+// which is exactly what counterexample-guided generation wants.
+package lp
+
+import (
+	"errors"
+	"math/big"
+)
+
+// ErrIterationLimit is returned when simplex fails to terminate within
+// the iteration budget (which, with Bland's rule, indicates a bug or a
+// pathologically large problem rather than cycling).
+var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
+
+// errUnbounded reports an unbounded objective, which Solve interprets
+// as infeasibility of the primal's hard constraints.
+var errUnbounded = errors.New("lp: unbounded objective")
+
+// tableau is a dense full-tableau simplex for
+//
+//	min cᵀx  s.t.  A x = b,  x >= 0,
+//
+// with few rows and many columns. All arithmetic is exact.
+type tableau struct {
+	m, n  int         // constraint rows, variable columns
+	a     [][]big.Rat // (m+1) x (n+1): constraint rows + objective row; last col = rhs
+	basis []int       // basic variable per row
+	block []bool      // columns barred from entering (artificials in phase 2)
+}
+
+func newTableau(m, n int) *tableau {
+	t := &tableau{m: m, n: n, block: make([]bool, n)}
+	t.a = make([][]big.Rat, m+1)
+	for i := range t.a {
+		t.a[i] = make([]big.Rat, n+1)
+	}
+	t.basis = make([]int, m)
+	return t
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	piv := new(big.Rat).Set(&t.a[row][col])
+	inv := new(big.Rat).Inv(piv)
+	ar := t.a[row]
+	for j := 0; j <= t.n; j++ {
+		if ar[j].Sign() != 0 {
+			ar[j].Mul(&ar[j], inv)
+		}
+	}
+	var tmp big.Rat
+	for i := 0; i <= t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := &t.a[i][col]
+		if f.Sign() == 0 {
+			continue
+		}
+		fc := new(big.Rat).Set(f)
+		ai := t.a[i]
+		for j := 0; j <= t.n; j++ {
+			if ar[j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(fc, &ar[j])
+			ai[j].Sub(&ai[j], &tmp)
+		}
+	}
+	t.basis[row] = col
+}
+
+// minimize runs simplex to optimality on the current objective row,
+// using Dantzig pricing with a switch to Bland's rule after a budget of
+// iterations (guaranteeing termination in exact arithmetic).
+func (t *tableau) minimize() error {
+	const dantzigBudget = 2000
+	const hardLimit = 20000
+	for iter := 0; ; iter++ {
+		if iter > hardLimit {
+			return ErrIterationLimit
+		}
+		bland := iter >= dantzigBudget
+		// Entering column: reduced cost < 0.
+		col := -1
+		var best *big.Rat
+		for j := 0; j < t.n; j++ {
+			if t.block[j] {
+				continue
+			}
+			rc := &t.a[t.m][j]
+			if rc.Sign() < 0 {
+				if bland {
+					col = j
+					break
+				}
+				if best == nil || rc.Cmp(best) < 0 {
+					best = rc
+					col = j
+				}
+			}
+		}
+		if col < 0 {
+			return nil // optimal
+		}
+		// Leaving row: min ratio b_i / a_ic over a_ic > 0; ties by
+		// smallest basis index (Bland).
+		row := -1
+		var ratio big.Rat
+		var bestRatio *big.Rat
+		for i := 0; i < t.m; i++ {
+			if t.a[i][col].Sign() > 0 {
+				ratio.Quo(&t.a[i][t.n], &t.a[i][col])
+				if bestRatio == nil || ratio.Cmp(bestRatio) < 0 ||
+					(ratio.Cmp(bestRatio) == 0 && t.basis[i] < t.basis[row]) {
+					bestRatio = new(big.Rat).Set(&ratio)
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return errUnbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+// solveStandard solves min costᵀ x s.t. A x = b, x >= 0 using two-phase
+// simplex. It returns the optimal objective value, the primal solution
+// x, and the simplex multipliers π (one per constraint row, recovered
+// from the artificial columns). b entries may have any sign.
+func solveStandard(a [][]*big.Rat, b []*big.Rat, cost []*big.Rat) (obj *big.Rat, x []*big.Rat, pi []*big.Rat, err error) {
+	m := len(b)
+	n := len(cost)
+	t := newTableau(m, n+m)
+	flipped := make([]bool, m)
+	// Fill constraint rows; flip signs so rhs >= 0.
+	for i := 0; i < m; i++ {
+		neg := b[i].Sign() < 0
+		flipped[i] = neg
+		for j := 0; j < n; j++ {
+			t.a[i][j].Set(a[i][j])
+			if neg {
+				t.a[i][j].Neg(&t.a[i][j])
+			}
+		}
+		t.a[i][t.n].Set(b[i])
+		if neg {
+			t.a[i][t.n].Neg(&t.a[i][t.n])
+		}
+		// Artificial variable for this row.
+		t.a[i][n+i].SetInt64(1)
+		t.basis[i] = n + i
+	}
+	// Phase 1 objective: min Σ artificials. Reduced costs: for basic
+	// artificials, subtract their rows from the cost row.
+	for j := 0; j <= t.n; j++ {
+		s := new(big.Rat)
+		for i := 0; i < m; i++ {
+			s.Add(s, &t.a[i][j])
+		}
+		if j >= n && j < n+m {
+			s.Sub(s, big.NewRat(1, 1))
+		}
+		t.a[t.m][j].Neg(s)
+	}
+	if err := t.minimize(); err != nil {
+		return nil, nil, nil, err
+	}
+	phase1 := new(big.Rat).Neg(&t.a[t.m][t.n])
+	if phase1.Sign() != 0 {
+		return nil, nil, nil, errors.New("lp: infeasible equality system")
+	}
+	// Drive remaining artificials out of the basis where possible.
+	for i := 0; i < m; i++ {
+		if t.basis[i] >= n {
+			piv := -1
+			for j := 0; j < n; j++ {
+				if t.a[i][j].Sign() != 0 {
+					piv = j
+					break
+				}
+			}
+			if piv >= 0 {
+				t.pivot(i, piv)
+			}
+			// Otherwise the row is redundant; the artificial stays basic
+			// at value zero and is blocked from re-entering below.
+		}
+	}
+	// Block artificials and install the phase-2 objective.
+	for j := n; j < t.n; j++ {
+		t.block[j] = true
+	}
+	for j := 0; j <= t.n; j++ {
+		var cj big.Rat
+		if j < n {
+			cj.Set(cost[j])
+		}
+		// reduced cost = c_j − Σ_i c_B(i) · a[i][j]
+		s := new(big.Rat)
+		var tmp big.Rat
+		for i := 0; i < m; i++ {
+			bi := t.basis[i]
+			if bi < n && cost[bi].Sign() != 0 {
+				tmp.Mul(cost[bi], &t.a[i][j])
+				s.Add(s, &tmp)
+			}
+		}
+		t.a[t.m][j].Sub(&cj, s)
+	}
+	if err := t.minimize(); err != nil {
+		return nil, nil, nil, err
+	}
+	// Objective value: rhs of the objective row holds −(cᵀx − 0).
+	obj = new(big.Rat)
+	var tmp big.Rat
+	x = make([]*big.Rat, n)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i := 0; i < m; i++ {
+		if bi := t.basis[i]; bi < n {
+			x[bi].Set(&t.a[i][t.n])
+			if cost[bi].Sign() != 0 {
+				tmp.Mul(cost[bi], &t.a[i][t.n])
+				obj.Add(obj, &tmp)
+			}
+		}
+	}
+	// Multipliers: π_i = c_art(i) − rc_art(i) = −rc over the artificial
+	// column for row i (artificial cost is 0 in phase 2).
+	pi = make([]*big.Rat, m)
+	for i := 0; i < m; i++ {
+		pi[i] = new(big.Rat).Neg(&t.a[t.m][n+i])
+		if flipped[i] {
+			// The multiplier was recovered for the sign-flipped row.
+			pi[i].Neg(pi[i])
+		}
+	}
+	return obj, x, pi, nil
+}

@@ -1,0 +1,175 @@
+package minifloat
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+var formats = []struct {
+	name string
+	f    Format
+}{
+	{"bfloat16", BFloat16},
+	{"binary16", Binary16},
+}
+
+// TestRoundTripExhaustive: every bit pattern decodes and re-encodes to
+// itself (the 16-bit formats allow true exhaustiveness).
+func TestRoundTripExhaustive(t *testing.T) {
+	for _, tc := range formats {
+		for b := 0; b < 1<<16; b++ {
+			bits := uint16(b)
+			if tc.f.IsNaN(bits) {
+				if !math.IsNaN(tc.f.ToFloat64(bits)) {
+					t.Fatalf("%s: NaN pattern %#x decodes to %v", tc.name, bits, tc.f.ToFloat64(bits))
+				}
+				continue
+			}
+			v := tc.f.ToFloat64(bits)
+			back := tc.f.FromFloat64(v)
+			if back != bits {
+				// ±0 may collapse; accept sign-preserved zeros only.
+				t.Fatalf("%s: %#x -> %v -> %#x", tc.name, bits, v, back)
+			}
+		}
+	}
+}
+
+// TestFromFloat64Exhaustive cross-checks single-rounding conversion
+// against exact big.Float rounding for a dense set of doubles around
+// every representable value and boundary.
+func TestFromFloat64Exhaustive(t *testing.T) {
+	for _, tc := range formats {
+		for b := 0; b < 1<<16; b++ {
+			bits := uint16(b)
+			if tc.f.IsNaN(bits) || tc.f.IsInf(bits) {
+				continue
+			}
+			v := tc.f.ToFloat64(bits)
+			// Probe v and points slightly off it.
+			for _, d := range []float64{v, math.Nextafter(v, math.Inf(1)), math.Nextafter(v, math.Inf(-1))} {
+				got := tc.f.FromFloat64(d)
+				want := tc.f.RoundBig(new(big.Float).SetPrec(80).SetFloat64(d))
+				if got != want && !(tc.f.ToFloat64(got) == 0 && tc.f.ToFloat64(want) == 0) {
+					t.Fatalf("%s: FromFloat64(%v)=%#x RoundBig=%#x", tc.name, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIntervalExhaustive: every finite value's interval is tight and
+// round-trips, for both formats — full coverage of the rounding
+// geometry used by the generator.
+func TestIntervalExhaustive(t *testing.T) {
+	for _, tc := range formats {
+		for b := 0; b < 1<<16; b++ {
+			bits := uint16(b)
+			if tc.f.IsNaN(bits) {
+				if _, _, ok := tc.f.Interval(bits); ok {
+					t.Fatalf("%s: NaN should have no interval", tc.name)
+				}
+				continue
+			}
+			lo, hi, ok := tc.f.Interval(bits)
+			if !ok {
+				t.Fatalf("%s: missing interval for %#x", tc.name, bits)
+			}
+			same := func(x uint16) bool {
+				return x == bits || (tc.f.ToFloat64(x) == 0 && tc.f.ToFloat64(bits) == 0)
+			}
+			if !math.IsInf(lo, -1) && !same(tc.f.FromFloat64(lo)) {
+				t.Fatalf("%s: lo of %#x does not round back (lo=%v -> %#x)", tc.name, bits, lo, tc.f.FromFloat64(lo))
+			}
+			if !math.IsInf(hi, 1) && !same(tc.f.FromFloat64(hi)) {
+				t.Fatalf("%s: hi of %#x does not round back", tc.name, bits)
+			}
+			// Tightness.
+			if !math.IsInf(lo, -1) {
+				if out := math.Nextafter(lo, math.Inf(-1)); same(tc.f.FromFloat64(out)) {
+					t.Fatalf("%s: interval of %#x not tight at lo", tc.name, bits)
+				}
+			}
+			if !math.IsInf(hi, 1) {
+				if out := math.Nextafter(hi, math.Inf(1)); same(tc.f.FromFloat64(out)) {
+					t.Fatalf("%s: interval of %#x not tight at hi", tc.name, bits)
+				}
+			}
+		}
+	}
+}
+
+func TestSpecialPatterns(t *testing.T) {
+	for _, tc := range formats {
+		if !math.IsInf(tc.f.ToFloat64(tc.f.Inf(1)), 1) || !math.IsInf(tc.f.ToFloat64(tc.f.Inf(-1)), -1) {
+			t.Errorf("%s: Inf encode/decode wrong", tc.name)
+		}
+		if !tc.f.IsNaN(tc.f.NaN()) {
+			t.Errorf("%s: NaN pattern not NaN", tc.name)
+		}
+		if tc.f.FromFloat64(math.Inf(1)) != tc.f.Inf(1) {
+			t.Errorf("%s: +Inf conversion wrong", tc.name)
+		}
+		if !tc.f.IsNaN(tc.f.FromFloat64(math.NaN())) {
+			t.Errorf("%s: NaN conversion wrong", tc.name)
+		}
+	}
+	// Known values.
+	if BFloat16.FromFloat64(1.0) != 0x3F80 {
+		t.Errorf("bfloat16(1.0) = %#x", BFloat16.FromFloat64(1.0))
+	}
+	if Binary16.FromFloat64(1.0) != 0x3C00 {
+		t.Errorf("binary16(1.0) = %#x", Binary16.FromFloat64(1.0))
+	}
+	if Binary16.ToFloat64(Binary16.MaxFinite()) != 65504 {
+		t.Errorf("binary16 max = %v", Binary16.ToFloat64(Binary16.MaxFinite()))
+	}
+	// bfloat16 values embed exactly into float32's upper half.
+	for b := 0; b < 1<<16; b += 37 {
+		bits := uint16(b)
+		if BFloat16.IsNaN(bits) {
+			continue
+		}
+		want := float64(math.Float32frombits(uint32(bits) << 16))
+		if BFloat16.ToFloat64(bits) != want {
+			t.Fatalf("bfloat16 %#x = %v, float32 embedding says %v", bits, BFloat16.ToFloat64(bits), want)
+		}
+	}
+}
+
+func TestOrdExhaustive(t *testing.T) {
+	for _, tc := range formats {
+		prev := int32(math.MinInt32)
+		first := true
+		// Walk value order: negatives descending bits, then positives.
+		for o := tc.f.Ord(tc.f.Inf(-1)); o <= tc.f.Ord(tc.f.Inf(1)); o++ {
+			bits := tc.f.FromOrd(o)
+			if tc.f.Ord(bits) != o {
+				t.Fatalf("%s: Ord/FromOrd mismatch at %d", tc.name, o)
+			}
+			if !first && o != prev+1 {
+				t.Fatalf("%s: ordinal gap", tc.name)
+			}
+			prev, first = o, false
+		}
+	}
+}
+
+func TestNextUpDown(t *testing.T) {
+	f := Binary16
+	one := f.FromFloat64(1)
+	if f.ToFloat64(f.NextUp(one)) <= 1 || f.ToFloat64(f.NextDown(one)) >= 1 {
+		t.Error("NextUp/NextDown around 1 wrong")
+	}
+	if f.NextUp(f.Inf(1)) != f.Inf(1) {
+		t.Error("NextUp(+Inf) should saturate")
+	}
+	if f.NextUp(f.MaxFinite()) != f.Inf(1) {
+		t.Error("NextUp(max) should be +Inf")
+	}
+	mz := f.FromFloat64(math.Copysign(0, -1))
+	if f.ToFloat64(f.NextUp(mz)) <= 0 {
+		t.Error("NextUp(-0) should be positive")
+	}
+}

@@ -1,0 +1,119 @@
+package miniposit
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestRoundTripExhaustive(t *testing.T) {
+	for b := 0; b < 1<<16; b++ {
+		p := uint16(b)
+		if p == NaR {
+			continue
+		}
+		v := ToFloat64(p)
+		if FromFloat64(v) != p {
+			t.Fatalf("roundtrip %#x -> %v -> %#x", p, v, FromFloat64(v))
+		}
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	cases := []struct {
+		v    float64
+		bits uint16
+	}{
+		{1, 0x4000},
+		{-1, 0xC000},
+		{16, 0x6000},
+		{0.5, 0x3800},
+		{0x1p56, 0x7FFF},
+		{0x1p-56, 0x0001},
+		{0, 0x0000},
+	}
+	for _, c := range cases {
+		if got := FromFloat64(c.v); got != c.bits {
+			t.Errorf("FromFloat64(%v) = %#x, want %#x", c.v, got, c.bits)
+		}
+	}
+	if !math.IsNaN(ToFloat64(NaR)) {
+		t.Error("NaR should decode to NaN")
+	}
+	if FromFloat64(1e40) != MaxPos || FromFloat64(-1e40) != negOf(MaxPos) {
+		t.Error("saturation wrong")
+	}
+}
+
+func TestOrderingExhaustive(t *testing.T) {
+	prev := math.Inf(-1)
+	for o := Ord(NaR) + 1; ; o++ {
+		p := FromOrd(o)
+		v := ToFloat64(p)
+		if v <= prev && !(v == 0 && prev == 0) {
+			t.Fatalf("value order broken at %#x (%v after %v)", p, v, prev)
+		}
+		prev = v
+		if p == MaxPos {
+			break
+		}
+	}
+}
+
+func TestRoundBigMatchesFromFloat64(t *testing.T) {
+	for b := 0; b < 1<<16; b += 7 {
+		p := uint16(b)
+		if p == NaR {
+			continue
+		}
+		v := ToFloat64(p)
+		// Perturb within a fraction of the gap: must round back to p.
+		if got := RoundBig(new(big.Float).SetPrec(120).SetFloat64(v)); got != p {
+			t.Fatalf("RoundBig(%v) = %#x, want %#x", v, got, p)
+		}
+	}
+}
+
+func TestIntervalExhaustive(t *testing.T) {
+	for b := 0; b < 1<<16; b++ {
+		p := uint16(b)
+		if p == NaR {
+			continue
+		}
+		lo, hi, ok := Interval(p)
+		if !ok {
+			t.Fatalf("missing interval for %#x", p)
+		}
+		same := func(q uint16) bool {
+			return q == p || (ToFloat64(q) == 0 && ToFloat64(p) == 0)
+		}
+		if !same(FromFloat64(lo)) || !same(FromFloat64(hi)) {
+			t.Fatalf("interval endpoints of %#x do not round back ([%v,%v])", p, lo, hi)
+		}
+		if p != Zero && p != MaxPos && p != negOf(MaxPos) {
+			if same(FromFloat64(math.Nextafter(hi, math.Inf(1)))) {
+				t.Fatalf("interval of %#x not tight at hi", p)
+			}
+			if same(FromFloat64(math.Nextafter(lo, math.Inf(-1)))) {
+				t.Fatalf("interval of %#x not tight at lo", p)
+			}
+		}
+	}
+}
+
+func TestBoundaryTies(t *testing.T) {
+	// Exactly on a boundary: ties to the even encoding.
+	for b := uint16(1); b < 0x7FFF; b += 97 {
+		bd := upperBoundary(b)
+		got := RoundBig(new(big.Float).SetPrec(120).SetFloat64(bd))
+		want := FromFloat64(bd)
+		if got != want {
+			t.Fatalf("tie at boundary of %#x: RoundBig=%#x FromFloat64=%#x", b, got, want)
+		}
+		if want&1 != 0 {
+			t.Fatalf("tie rounded to odd pattern %#x", want)
+		}
+	}
+}
+
+func negOf(p uint16) uint16 { return Neg(p) }

@@ -1,0 +1,146 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rlibm32/internal/bigfp"
+	"rlibm32/internal/interval"
+	"rlibm32/posit32"
+)
+
+func TestFloat32AgainstStdlib(t *testing.T) {
+	// Go's math package is faithfully rounded: the correctly rounded
+	// float32 must be within one float32 ulp of float32(math.F(x)), and
+	// almost always equal.
+	rng := rand.New(rand.NewSource(1))
+	mismatches := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		x := rng.Float64()*20 - 10
+		pairs := []struct {
+			f   bigfp.Func
+			ref float64
+		}{
+			{bigfp.Exp, math.Exp(x)},
+			{bigfp.Sinh, math.Sinh(x)},
+			{bigfp.Cosh, math.Cosh(x)},
+			{bigfp.Log, math.Log(math.Abs(x) + 0.1)},
+		}
+		for _, p := range pairs {
+			arg := x
+			if p.f == bigfp.Log {
+				arg = math.Abs(x) + 0.1
+			}
+			got := Float32(p.f, arg)
+			want := float32(p.ref)
+			if got != want {
+				mismatches++
+				// Must still be adjacent (double-rounding of a faithful
+				// double result differs by at most 1 ulp).
+				if math.Abs(float64(got)-float64(want)) > 2*math.Abs(float64(want))*0x1p-23 {
+					t.Fatalf("%v(%v): oracle %v too far from stdlib %v", p.f, arg, got, want)
+				}
+			}
+		}
+	}
+	if mismatches > trials/10 {
+		t.Errorf("suspiciously many oracle/stdlib mismatches: %d", mismatches)
+	}
+}
+
+func TestFloat32SpecialValues(t *testing.T) {
+	if Float32(bigfp.Exp, 0) != 1 {
+		t.Error("exp(0) != 1")
+	}
+	if Float32(bigfp.Log, 1) != 0 {
+		t.Error("log(1) != 0")
+	}
+	if Float32(bigfp.Exp2, 10) != 1024 {
+		t.Error("exp2(10) != 1024")
+	}
+	if Float32(bigfp.Exp10, 3) != 1000 {
+		t.Error("exp10(3) != 1000")
+	}
+	if Float32(bigfp.SinPi, 0.5) != 1 || Float32(bigfp.CosPi, 1) != -1 {
+		t.Error("sinpi/cospi exact points wrong")
+	}
+	// Overflow to +Inf.
+	if v := Float32(bigfp.Exp, 200); !math.IsInf(float64(v), 1) {
+		t.Errorf("exp(200) should round to +Inf in float32, got %v", v)
+	}
+	// Deep underflow to 0.
+	if v := Float32(bigfp.Exp, -200); v != 0 {
+		t.Errorf("exp(-200) should round to 0 in float32, got %v", v)
+	}
+	// Subnormal result.
+	v := Float32(bigfp.Exp, -100)
+	if v <= 0 || v >= 0x1p-126 {
+		t.Errorf("exp(-100) should be subnormal float32, got %v", v)
+	}
+}
+
+func TestFloat64MatchesFloat32Consistency(t *testing.T) {
+	// Rounding the correctly rounded double to float32 must agree with
+	// the direct float32 oracle except at double-rounding boundaries
+	// (which exist: that is CR-LIBM's failure mode in Table 1), so here
+	// we only check near-agreement.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 5
+		d := Float64(bigfp.Exp, x)
+		f := Float32(bigfp.Exp, x)
+		if df := float32(d); df != f {
+			if math.Abs(float64(df)-float64(f)) > math.Abs(float64(f))*0x1p-22 {
+				t.Fatalf("double-rounded oracle too far at %v: %v vs %v", x, df, f)
+			}
+		}
+	}
+}
+
+func TestPosit32Oracle(t *testing.T) {
+	if Posit32(bigfp.Exp, 0) != posit32.One {
+		t.Error("posit exp(0) != 1")
+	}
+	if Posit32(bigfp.Log, 1) != posit32.Zero {
+		t.Error("posit log(1) != 0")
+	}
+	// Saturation: exp of a large input rounds to MaxPos (no overflow).
+	if Posit32(bigfp.Exp, 100) != posit32.MaxPos {
+		t.Error("posit exp(100) should saturate to MaxPos")
+	}
+	if Posit32(bigfp.Exp, -100) != posit32.MinPos {
+		t.Error("posit exp(-100) should saturate to MinPos")
+	}
+	// Consistency with the float64 oracle away from boundaries.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		x := rng.Float64()*4 - 2
+		p := Posit32(bigfp.Cosh, x)
+		d := Float64(bigfp.Cosh, x)
+		if q := posit32.FromFloat64(d); q != p {
+			// Double rounding may differ by one ulp at most.
+			if q != p.NextUp() && q != p.NextDown() {
+				t.Fatalf("posit oracle for cosh(%v): %#x vs double-rounded %#x", x, p, q)
+			}
+		}
+	}
+}
+
+func TestTargetDispatch(t *testing.T) {
+	v, ok := Target(interval.Float32Target{}, bigfp.Exp, 1)
+	if !ok || float32(v) != Float32(bigfp.Exp, 1) {
+		t.Error("Target(float32) disagrees with Float32")
+	}
+	pv, ok := Target(interval.Posit32Target{}, bigfp.Exp, 1)
+	if !ok || posit32.FromFloat64(pv) != Posit32(bigfp.Exp, 1) {
+		t.Error("Target(posit32) disagrees with Posit32")
+	}
+}
+
+func BenchmarkOracleFloat32Exp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Float32(bigfp.Exp, 1.5+float64(i%100)*1e-4)
+	}
+}

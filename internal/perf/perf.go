@@ -1,0 +1,183 @@
+// Package perf implements the performance harness behind Figures 3, 4
+// and 5: per-call latency of each library over deterministic
+// valid-domain input arrays, reported as speedups of RLIBM-32 over each
+// baseline.
+//
+// The paper measures cycles with hardware performance counters over all
+// 2^32 inputs; this reproduction measures monotonic wall time over a
+// large pseudo-random valid-domain array, which preserves the ratios
+// (who wins, by what factor) that the figures report.
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"rlibm32/internal/baselines"
+	"rlibm32/posit32"
+	"rlibm32/posit32/positmath"
+
+	rlibm "rlibm32"
+)
+
+// InputDomain returns the benchmark input range for a function: inputs
+// that exercise the polynomial path (matching the paper's whole-domain
+// averages, which are dominated by non-special inputs).
+func InputDomain(name string) (lo, hi float64, logUniform bool) {
+	switch name {
+	case "ln", "log2", "log10":
+		return 0x1p-126, 0x1p127, true
+	case "exp":
+		return -87, 88, false
+	case "exp2":
+		return -125, 127, false
+	case "exp10":
+		return -37, 38, false
+	case "sinh", "cosh":
+		return -88, 88, false
+	case "sinpi", "cospi":
+		return -4000, 4000, false
+	}
+	return -1, 1, false
+}
+
+// Float32Inputs builds a deterministic n-element input array for name.
+func Float32Inputs(name string, n int) []float32 {
+	lo, hi, logU := InputDomain(name)
+	rng := rand.New(rand.NewSource(int64(len(name)) * 7919))
+	xs := make([]float32, n)
+	for i := range xs {
+		if logU {
+			e := math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo))
+			xs[i] = float32(math.Exp(e))
+		} else {
+			xs[i] = float32(lo + rng.Float64()*(hi-lo))
+		}
+	}
+	return xs
+}
+
+// PositInputs builds a deterministic posit input array for name
+// (posit saturation domains are slightly narrower).
+func PositInputs(name string, n int) []posit32.Posit {
+	lo, hi, logU := InputDomain(name)
+	switch name {
+	case "exp", "sinh", "cosh":
+		lo, hi = -81, 81
+	case "exp2":
+		lo, hi = -117, 117
+	case "exp10":
+		lo, hi = -36, 36
+	case "ln", "log2", "log10":
+		lo, hi = 0x1p-120, 0x1p120
+	}
+	rng := rand.New(rand.NewSource(int64(len(name)) * 104729))
+	ps := make([]posit32.Posit, n)
+	for i := range ps {
+		var v float64
+		if logU {
+			e := math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo))
+			v = math.Exp(e)
+		} else {
+			v = lo + rng.Float64()*(hi-lo)
+		}
+		ps[i] = posit32.FromFloat64(v)
+	}
+	return ps
+}
+
+// sink defeats dead-code elimination.
+var sink float32
+
+// SinkP absorbs posit results.
+var sinkP posit32.Posit
+
+// MeasureFloat32 returns the average ns/call of f over xs with reps
+// repetitions (minimum of 3 timing passes).
+func MeasureFloat32(f func(float32) float32, xs []float32, reps int) float64 {
+	best := math.Inf(1)
+	for pass := 0; pass < 3; pass++ {
+		start := time.Now()
+		var s float32
+		for r := 0; r < reps; r++ {
+			for _, x := range xs {
+				s += f(x)
+			}
+		}
+		el := time.Since(start).Seconds() * 1e9 / float64(reps*len(xs))
+		sink = s
+		if el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+// MeasurePosit is MeasureFloat32 for posit implementations.
+func MeasurePosit(f func(posit32.Posit) posit32.Posit, ps []posit32.Posit, reps int) float64 {
+	best := math.Inf(1)
+	for pass := 0; pass < 3; pass++ {
+		start := time.Now()
+		var s posit32.Posit
+		for r := 0; r < reps; r++ {
+			for _, p := range ps {
+				s ^= f(p)
+			}
+		}
+		el := time.Since(start).Seconds() * 1e9 / float64(reps*len(ps))
+		sinkP = s
+		if el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+// Speedup is one bar of Figure 3/4: baseline time over rlibm time.
+type Speedup struct {
+	Func    string
+	Library string
+	RlibmNs float64
+	OtherNs float64
+}
+
+// Factor returns OtherNs / RlibmNs (>1 means RLIBM-32 is faster).
+func (s Speedup) Factor() float64 { return s.OtherNs / s.RlibmNs }
+
+// CompareFloat32 measures rlibm vs one baseline for one function.
+func CompareFloat32(lib baselines.Library, name string, n, reps int) (Speedup, bool) {
+	rf, ok := rlibm.Func(name)
+	if !ok {
+		return Speedup{}, false
+	}
+	bf := baselines.Func32(lib, name)
+	if bf == nil {
+		return Speedup{}, false
+	}
+	xs := Float32Inputs(name, n)
+	return Speedup{
+		Func: name, Library: string(lib),
+		RlibmNs: MeasureFloat32(rf, xs, reps),
+		OtherNs: MeasureFloat32(bf, xs, reps),
+	}, true
+}
+
+// ComparePosit measures rlibm posit functions vs a repurposed double
+// baseline.
+func ComparePosit(lib baselines.Library, name string, n, reps int) (Speedup, bool) {
+	rf, ok := positmath.Func(name)
+	if !ok {
+		return Speedup{}, false
+	}
+	bf := baselines.FuncPosit(lib, name)
+	if bf == nil {
+		return Speedup{}, false
+	}
+	ps := PositInputs(name, n)
+	return Speedup{
+		Func: name, Library: string(lib),
+		RlibmNs: MeasurePosit(rf, ps, reps),
+		OtherNs: MeasurePosit(bf, ps, reps),
+	}, true
+}

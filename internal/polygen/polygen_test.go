@@ -1,0 +1,175 @@
+package polygen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rlibm32/internal/piecewise"
+)
+
+// mkCons builds constraints around f with half-width w at n points of
+// [a,b].
+func mkCons(f func(float64) float64, a, b, w float64, n int) []Constraint {
+	cons := make([]Constraint, n)
+	for i := range cons {
+		r := a + (b-a)*float64(i)/float64(n-1)
+		y := f(r)
+		cons[i] = Constraint{R: r, Lo: y - w, Hi: y + w}
+	}
+	return cons
+}
+
+func checkAll(t *testing.T, pw *Piecewise, cons []Constraint) {
+	t.Helper()
+	for _, c := range cons {
+		v := pw.Eval(c.R)
+		if !(c.Lo <= v && v <= c.Hi) {
+			t.Fatalf("generated approximation violates constraint at r=%v: %v not in [%v,%v]", c.R, v, c.Lo, c.Hi)
+		}
+	}
+}
+
+func TestGenerateSinglePolynomial(t *testing.T) {
+	// exp on a narrow reduced domain with roomy intervals: a single
+	// cubic suffices.
+	cons := mkCons(math.Exp, 0x1p-20, 0x1p-8, 1e-9, 400)
+	pw, st, err := Generate(cons, Config{Terms: []int{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAll(t, pw, cons)
+	if pw.Pos.N != 0 {
+		t.Errorf("expected a single polynomial, got 2^%d sub-domains", pw.Pos.N)
+	}
+	if st.LPCalls == 0 {
+		t.Error("stats should count LP calls")
+	}
+}
+
+func TestGenerateNeedsSplitting(t *testing.T) {
+	// A linear polynomial cannot track exp over a wide domain with
+	// tight intervals; splitting must kick in and succeed.
+	cons := mkCons(math.Exp, 0x1p-10, 0.25, 2e-7, 1200)
+	pw, st, err := Generate(cons, Config{Terms: []int{0, 1}, MaxIndexBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAll(t, pw, cons)
+	if pw.Pos.N == 0 {
+		t.Error("expected domain splitting for a linear fit of exp")
+	}
+	if st.SubdomainFails == 0 {
+		t.Error("expected at least one failed splitting level")
+	}
+}
+
+func TestGenerateSignSplit(t *testing.T) {
+	// Reduced domain spanning both signs (like exp's): separate tables.
+	f := math.Exp
+	var cons []Constraint
+	cons = append(cons, mkCons(f, -0x1p-8, -0x1p-20, 1e-9, 300)...)
+	cons = append(cons, mkCons(f, 0x1p-20, 0x1p-8, 1e-9, 300)...)
+	pw, _, err := Generate(cons, Config{Terms: []int{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.Neg == nil || pw.Pos == nil {
+		t.Fatal("both sign tables should exist")
+	}
+	checkAll(t, pw, cons)
+}
+
+func TestGenerateOddPolynomial(t *testing.T) {
+	// sinpi-like: odd polynomial on [0, 1/512], including r = 0 with an
+	// interval containing 0.
+	f := func(r float64) float64 { return math.Sin(math.Pi * r) }
+	cons := mkCons(f, 0x1p-30, 1.0/512, 1e-12, 500)
+	cons = append(cons, Constraint{R: 0, Lo: -1e-300, Hi: 1e-300})
+	pw, _, err := Generate(cons, Config{Terms: []int{1, 3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAll(t, pw, cons)
+	if pw.Eval(0) != 0 {
+		t.Error("odd polynomial must vanish at 0")
+	}
+}
+
+func TestGenerateInfeasible(t *testing.T) {
+	// Conflicting requirement no polynomial can satisfy at any split:
+	// the same input twice with disjoint intervals (MergeByInput
+	// catches this first).
+	cons := []Constraint{
+		{R: 0.5, Lo: 1, Hi: 2},
+		{R: 0.5, Lo: 3, Hi: 4},
+	}
+	if _, err := MergeByInput(cons); err == nil {
+		t.Fatal("MergeByInput must reject disjoint duplicates")
+	}
+	// Generate on unmerged conflicting duplicates: the two constraints
+	// share every sub-domain at every split depth, so CEGIS must
+	// eventually report infeasibility.
+	hard := []Constraint{
+		{R: 0.5, Lo: 0, Hi: 1e-9},
+		{R: 0.5, Lo: 1, Hi: 1 + 1e-9},
+	}
+	_, _, err := Generate(hard, Config{Terms: []int{0, 1}, MaxIndexBits: 4})
+	if err == nil {
+		t.Fatal("expected infeasibility for conflicting duplicate inputs")
+	}
+}
+
+func TestMergeByInput(t *testing.T) {
+	cons := []Constraint{
+		{R: 1, Lo: 0, Hi: 10},
+		{R: 1, Lo: 5, Hi: 20},
+		{R: 2, Lo: 1, Hi: 2},
+	}
+	out, err := MergeByInput(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Lo != 5 || out[0].Hi != 10 {
+		t.Errorf("merge result wrong: %+v", out)
+	}
+}
+
+func TestGenPolynomialRefinement(t *testing.T) {
+	// Very tight intervals force the search-and-refine path: exact LP
+	// solutions whose double-rounded coefficients violate the sample.
+	rng := rand.New(rand.NewSource(2))
+	var cons []Constraint
+	for i := 0; i < 100; i++ {
+		r := math.Ldexp(1+rng.Float64(), -10)
+		y := math.Exp(r)
+		w := math.Abs(y) * 1e-15 // a few ulps
+		cons = append(cons, Constraint{R: r, Lo: y - w, Hi: y + w})
+	}
+	merged, err := MergeByInput(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, st, err := Generate(merged, Config{Terms: []int{0, 1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAll(t, pw, merged)
+	t.Logf("stats: %+v", st)
+}
+
+func TestPiecewiseEvalMatchesEvalPoly(t *testing.T) {
+	cons := mkCons(math.Exp, 0x1p-12, 0x1p-8, 1e-10, 300)
+	pw, _, err := Generate(cons, Config{Terms: []int{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := pw.Pos
+	for _, c := range cons {
+		idx := tbl.Index(c.R)
+		row := tbl.Coeffs[idx*len(tbl.Terms) : (idx+1)*len(tbl.Terms)]
+		if pw.Eval(c.R) != piecewise.EvalPoly(tbl.Kind, tbl.Terms, row, c.R) {
+			t.Fatal("Piecewise.Eval must match EvalPoly bit for bit")
+		}
+	}
+}

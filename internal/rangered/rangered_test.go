@@ -1,0 +1,283 @@
+package rangered
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rlibm32/internal/oracle"
+)
+
+var famCache = struct {
+	sync.Mutex
+	m map[string]Family
+}{m: map[string]Family{}}
+
+func fam(t *testing.T, name string, v Variant) Family {
+	t.Helper()
+	key := name + "/" + v.String()
+	famCache.Lock()
+	defer famCache.Unlock()
+	if f, ok := famCache.m[key]; ok {
+		return f
+	}
+	f, err := Build(name, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	famCache.m[key] = f
+	return f
+}
+
+// sampleInputs draws n target values uniformly over the family's
+// sample domains in ordinal space (the paper's representation-
+// proportional distribution), skipping special cases.
+func sampleInputs(f Family, v Variant, n int, seed int64) []float64 {
+	t := v.Target()
+	rng := rand.New(rand.NewSource(seed))
+	var xs []float64
+	for _, d := range f.SampleDomains() {
+		lo, hi := t.Ord(d[0]), t.Ord(d[1])
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for i := 0; i < n/len(f.SampleDomains()); i++ {
+			x := t.FromOrd(lo + rng.Int63n(hi-lo+1))
+			if _, special := f.Special(x); special {
+				continue
+			}
+			xs = append(xs, x)
+		}
+	}
+	return xs
+}
+
+// TestOCWithOracleValuesLandsInInterval is the Algorithm 2 line-8
+// precondition: for every input, output compensation applied to the
+// correctly rounded reduced-function values must produce a value that
+// rounds to the correctly rounded result. If this fails, the range
+// reduction (or H = double) is inadequate — the paper's "redesign"
+// signal.
+func TestOCWithOracleValuesLandsInInterval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle-heavy")
+	}
+	run := func(names []string, v Variant, perFunc int) {
+		tgt := v.Target()
+		for _, name := range names {
+			f := fam(t, name, v)
+			xs := sampleInputs(f, v, perFunc, 12345)
+			fails := 0
+			for _, x := range xs {
+				want, _ := oracle.Target(tgt, f.Fn(), x)
+				iv, ok := tgt.Interval(want)
+				if !ok {
+					continue
+				}
+				r, c := f.Reduce(x)
+				var vals [2]float64
+				for i, rf := range f.Funcs() {
+					vals[i] = oracle.Float64(rf, r)
+				}
+				got := f.OC(vals, c)
+				if !iv.Contains(got) && !tgt.SameResult(tgt.Round(got), want) {
+					fails++
+					if fails <= 3 {
+						t.Errorf("%s/%s: x=%v (r=%v): OC=%v outside interval [%v,%v] of %v",
+							v, name, x, r, got, iv.Lo, iv.Hi, want)
+					}
+				}
+			}
+			if fails > 0 {
+				t.Errorf("%s/%s: %d/%d line-8 failures", v, name, fails, len(xs))
+			}
+		}
+	}
+	run(FloatNames, VFloat32, 300)
+	run(PositNames, VPosit32, 200)
+}
+
+func TestExpCutoffs(t *testing.T) {
+	f := fam(t, "exp", VFloat32).(*ExpFamily)
+	if !(88.7 < f.OvfLo && f.OvfLo < 88.8) {
+		t.Errorf("float32 exp overflow cutoff %v, want ~88.72", f.OvfLo)
+	}
+	if !(-104.0 < f.UndHi && f.UndHi < -103.9) {
+		t.Errorf("float32 exp underflow cutoff %v, want ~-103.97", f.UndHi)
+	}
+	if !(0 < f.TinyHi && f.TinyHi < 1e-7 && -1e-7 < f.TinyLo && f.TinyLo < 0) {
+		t.Errorf("float32 exp tiny band [%v, %v] implausible", f.TinyLo, f.TinyHi)
+	}
+	// Special-case routing.
+	if y, ok := f.Special(100); !ok || !math.IsInf(y, 1) {
+		t.Error("exp(100) must be special +Inf")
+	}
+	if y, ok := f.Special(-200); !ok || y != 0 {
+		t.Error("exp(-200) must be special 0")
+	}
+	if y, ok := f.Special(1e-30); !ok || y != 1 {
+		t.Error("exp(1e-30) must be special 1")
+	}
+	if _, ok := f.Special(1.0); ok {
+		t.Error("exp(1) must not be special")
+	}
+}
+
+func TestExp2Float32Cutoffs(t *testing.T) {
+	f := fam(t, "exp2", VFloat32).(*ExpFamily)
+	if !(127.9 < f.OvfLo && f.OvfLo <= 128.0) {
+		t.Errorf("exp2 overflow cutoff %v, want ~128", f.OvfLo)
+	}
+	if !(-150.1 < f.UndHi && f.UndHi < -149.0) {
+		t.Errorf("exp2 underflow cutoff %v, want ~-149.5", f.UndHi)
+	}
+}
+
+func TestPositExpSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle-heavy")
+	}
+	f := fam(t, "exp", VPosit32).(*ExpFamily)
+	// Values round to MaxPos from the encoding-space boundary between
+	// 2^116 and 2^120, which decodes to 2^118: cutoff ≈ 118·ln2 ≈ 81.79.
+	if !(81.7 < f.OvfLo && f.OvfLo < 81.9) {
+		t.Errorf("posit exp saturation cutoff %v, want ~81.79", f.OvfLo)
+	}
+	if !(-81.9 < f.UndHi && f.UndHi < -81.7) {
+		t.Errorf("posit exp MinPos cutoff %v, want ~-81.79", f.UndHi)
+	}
+}
+
+func TestLogReduceIdentity(t *testing.T) {
+	f := fam(t, "ln", VFloat32).(*LogFamily)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		x := float64(math.Float32frombits(rng.Uint32() & 0x7FFFFFFF))
+		if _, sp := f.Special(x); sp {
+			continue
+		}
+		r, c := f.Reduce(x)
+		if !(0 <= r && r < 0x1p-7+0x1p-20) {
+			t.Fatalf("ln reduce r=%v out of range for x=%v", r, x)
+		}
+		// Identity: A + log1p(r) ≈ ln(x) to double accuracy.
+		got := c.A + math.Log1p(r)
+		want := math.Log(x)
+		if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+			t.Fatalf("ln identity broken at %v: %v vs %v", x, got, want)
+		}
+	}
+}
+
+func TestExpReduceIdentity(t *testing.T) {
+	f := fam(t, "exp", VFloat32).(*ExpFamily)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 5000; i++ {
+		x := rng.Float64()*160 - 90
+		if _, sp := f.Special(x); sp {
+			continue
+		}
+		r, c := f.Reduce(x)
+		if math.Abs(r) > math.Ln2/128*1.01 {
+			t.Fatalf("exp reduce r=%v too large for x=%v", r, x)
+		}
+		got := c.A * math.Exp(r)
+		want := math.Exp(x)
+		if math.Abs(got-want) > 1e-11*want {
+			t.Fatalf("exp identity broken at %v: %v vs %v", x, got, want)
+		}
+	}
+}
+
+func TestSinhCoshReduceIdentity(t *testing.T) {
+	fs := fam(t, "sinh", VFloat32).(*SinhCoshFamily)
+	fc := fam(t, "cosh", VFloat32).(*SinhCoshFamily)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		x := rng.Float64()*170 - 85
+		for _, f := range []*SinhCoshFamily{fs, fc} {
+			if _, sp := f.Special(x); sp {
+				continue
+			}
+			r, c := f.Reduce(x)
+			if !(-1e-12 <= r && r < math.Ln2/64*1.01) {
+				t.Fatalf("%s reduce r=%v out of range", f.FName, r)
+			}
+			got := f.OC([2]float64{math.Sinh(r), math.Cosh(r)}, c)
+			var want float64
+			if f.IsSinh {
+				want = math.Sinh(x)
+			} else {
+				want = math.Cosh(x)
+			}
+			if math.Abs(got-want) > 1e-10*math.Abs(want) {
+				t.Fatalf("%s identity broken at %v: %v vs %v", f.FName, x, got, want)
+			}
+			if c.A < 0 || c.B < 0 {
+				t.Fatalf("%s: negative OC coefficients break monotonicity", f.FName)
+			}
+		}
+	}
+}
+
+func TestSinCosPiReduceIdentity(t *testing.T) {
+	fsin := fam(t, "sinpi", VFloat32).(*SinPiFamily)
+	fcos := fam(t, "cospi", VFloat32).(*CosPiFamily)
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 5000; i++ {
+		x := float64(float32((rng.Float64() - 0.5) * 1000))
+		if _, sp := fsin.Special(x); !sp {
+			r, c := fsin.Reduce(x)
+			if !(0 <= r && r <= 0x1p-9) {
+				t.Fatalf("sinpi reduce r=%v out of [0, 2^-9]", r)
+			}
+			if c.A < 0 || c.B < 0 {
+				t.Fatal("sinpi OC coefficients must be non-negative")
+			}
+			got := fsin.OC([2]float64{math.Sin(math.Pi * r), math.Cos(math.Pi * r)}, c)
+			want := math.Sin(math.Pi * math.Mod(x, 2))
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("sinpi identity broken at %v: %v vs %v", x, got, want)
+			}
+		}
+		if _, sp := fcos.Special(x); !sp {
+			r, c := fcos.Reduce(x)
+			if !(0 <= r && r <= 0x1p-9) {
+				t.Fatalf("cospi reduce r=%v out of [0, 2^-9]", r)
+			}
+			if c.A < 0 || c.B < 0 {
+				t.Fatal("cospi OC coefficients must be non-negative (§5 monotone form)")
+			}
+			got := fcos.OC([2]float64{math.Sin(math.Pi * r), math.Cos(math.Pi * r)}, c)
+			want := math.Cos(math.Pi * math.Mod(x, 2))
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("cospi identity broken at %v: %v vs %v", x, got, want)
+			}
+		}
+	}
+}
+
+func TestSpecialEdges(t *testing.T) {
+	fsin := fam(t, "sinpi", VFloat32)
+	if y, ok := fsin.Special(0x1p23); !ok || y != 0 {
+		t.Error("sinpi(2^23) should be special 0")
+	}
+	if y, ok := fsin.Special(math.NaN()); !ok || !math.IsNaN(y) {
+		t.Error("sinpi(NaN) should be NaN")
+	}
+	fcos := fam(t, "cospi", VFloat32)
+	if y, ok := fcos.Special(0x1p23); !ok || y != 1 {
+		t.Error("cospi(2^23) should be 1 (even integer)")
+	}
+	if y, ok := fcos.Special(0x1p23 + 1); !ok || y != -1 {
+		t.Error("cospi(2^23+1) should be -1 (odd integer)")
+	}
+	fln := fam(t, "ln", VFloat32)
+	if y, ok := fln.Special(0); !ok || !math.IsInf(y, -1) {
+		t.Error("ln(0) should be -Inf")
+	}
+	if y, ok := fln.Special(-1); !ok || !math.IsNaN(y) {
+		t.Error("ln(-1) should be NaN")
+	}
+}

@@ -1,0 +1,146 @@
+// Package redint implements Algorithm 2 of the paper: deducing reduced
+// rounding intervals when output compensation involves one or more
+// elementary functions.
+//
+// Given the correctly rounded double values v_i of the reduced
+// functions f_i(r), the rounding interval [l, h] of the original input
+// x, and the (monotonic) output compensation OC evaluated in double
+// precision, Deduce widens the singleton intervals [v_i, v_i]
+// simultaneously downward and then upward — exactly the loops of lines
+// 11-20 — stopping when OC leaves [l, h]. The paper notes the loops
+// "can be efficiently implemented by performing binary search"; this
+// implementation does geometric probing followed by binary search over
+// the number of representable-value steps, which is valid because a
+// monotonic OC makes the membership predicate monotone in the step
+// count.
+package redint
+
+import (
+	"rlibm32/internal/fp"
+	"rlibm32/internal/interval"
+)
+
+// OC evaluates output compensation in double precision, given candidate
+// values for each reduced elementary function f_i(r). The range
+// reduction context (tables, exponents, signs) is captured by the
+// closure. OC must be monotonic: either non-decreasing in every
+// argument or non-increasing in every argument.
+type OC func(vals []float64) float64
+
+// maxSteps bounds the widening search; 2^62 covers the entire double
+// range.
+const maxSteps = int64(1) << 62
+
+// Deduce computes the reduced intervals [lo_i, hi_i] for each f_i(r)
+// such that any combination of polynomial outputs within them keeps
+// OC inside target. vals holds the correctly rounded double values
+// v_i = RN_H(f_i(r)). center returns the (possibly recentred) starting
+// values, which the polynomial generator uses as the preferred target
+// inside each interval. ok is false when even the exact values fail
+// (line 8: the range reduction must be redesigned or H is too narrow).
+func Deduce(vals []float64, oc OC, target interval.Interval) (lo, hi, center []float64, ok bool) {
+	n := len(vals)
+	work := make([]float64, n)
+	base := int64(0)
+	apply := func(k int64) float64 {
+		for i, v := range vals {
+			work[i] = fp.StepBy64(v, base+k)
+		}
+		return oc(work)
+	}
+	if !target.Contains(apply(0)) {
+		// The correctly rounded double values can land a hair outside
+		// the rounding interval when the true value of f_i(r) sits
+		// within half a double-ulp of the target's rounding boundary
+		// (observed for posit32 exp near 1, where posits carry more
+		// precision than float32). The interval itself is still
+		// satisfiable: shift the starting point by the smallest step
+		// count that brings OC inside, then widen from there.
+		k, ok := recenter(apply, target)
+		if !ok {
+			return nil, nil, nil, false
+		}
+		base = k
+	}
+	down := widen(apply, target, -1)
+	up := widen(apply, target, +1)
+	lo = make([]float64, n)
+	hi = make([]float64, n)
+	center = make([]float64, n)
+	for i, v := range vals {
+		lo[i] = fp.StepBy64(v, base-down)
+		hi[i] = fp.StepBy64(v, base+up)
+		center[i] = fp.StepBy64(v, base)
+	}
+	return lo, hi, center, true
+}
+
+// recenter finds a step count k with OC(vals stepped by k) inside the
+// target, assuming OC is monotone in k. It searches both directions
+// geometrically up to a modest budget (the legitimate cases need one
+// or two steps; a large k means the range reduction is truly broken).
+func recenter(apply func(int64) float64, target interval.Interval) (int64, bool) {
+	const budget = int64(1) << 16
+	for k := int64(1); k <= budget; k *= 2 {
+		for _, dir := range [2]int64{k, -k} {
+			if target.Contains(apply(dir)) {
+				// Binary search the first inside point between dir/2
+				// (tested outside on the previous doubling, or 0) and
+				// dir (inside); insideness is monotone on this segment
+				// because OC is monotone in the step count.
+				a, b := dir/2, dir
+				for absDiff(a, b) > 1 {
+					mid := a + (b-a)/2
+					if target.Contains(apply(mid)) {
+						b = mid
+					} else {
+						a = mid
+					}
+				}
+				if target.Contains(apply(a)) {
+					return a, true
+				}
+				return b, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func absDiff(a, b int64) int64 {
+	d := b - a
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// widen finds the largest k >= 0 such that stepping every value by
+// dir*k keeps OC(vals) inside target. The predicate is monotone in k
+// (true for k, implies true for all smaller k) because OC is monotone.
+func widen(apply func(int64) float64, target interval.Interval, dir int64) int64 {
+	inside := func(k int64) bool { return target.Contains(apply(dir * k)) }
+	// Geometric probing for the first failure.
+	var good, bad int64 = 0, -1
+	for k := int64(1); k > 0 && k <= maxSteps; k *= 2 {
+		if inside(k) {
+			good = k
+		} else {
+			bad = k
+			break
+		}
+	}
+	if bad < 0 {
+		return good // the whole line satisfies OC (degenerate targets)
+	}
+	// Binary search in (good, bad).
+	for bad-good > 1 {
+		mid := good + (bad-good)/2
+		if inside(mid) {
+			good = mid
+		} else {
+			bad = mid
+		}
+	}
+	return good
+}

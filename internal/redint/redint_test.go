@@ -1,0 +1,115 @@
+package redint
+
+import (
+	"math"
+	"testing"
+
+	"rlibm32/internal/fp"
+	"rlibm32/internal/interval"
+)
+
+func TestDeduceSingleIdentity(t *testing.T) {
+	// OC = identity. The reduced interval must equal the target
+	// interval exactly (every value inside works, first outside fails).
+	target := interval.Interval{Lo: 1.0, Hi: 1.0 + 100*0x1p-52}
+	v := 1.0 + 50*0x1p-52
+	lo, hi, _, ok := Deduce([]float64{v}, func(vals []float64) float64 { return vals[0] }, target)
+	if !ok {
+		t.Fatal("identity OC must succeed")
+	}
+	if lo[0] != target.Lo || hi[0] != target.Hi {
+		t.Errorf("identity widening: [%v,%v], want [%v,%v]", lo[0], hi[0], target.Lo, target.Hi)
+	}
+}
+
+func TestDeduceAffine(t *testing.T) {
+	// OC(v) = v*8 + 1 (exact in doubles): reduced interval maps back.
+	target := interval.Interval{Lo: 17, Hi: 17 + 64*0x1p-48}
+	v := (17.0 + 32*0x1p-48 - 1) / 8
+	oc := func(vals []float64) float64 { return vals[0]*8 + 1 }
+	lo, hi, _, ok := Deduce([]float64{v}, oc, target)
+	if !ok {
+		t.Fatal("affine OC must succeed")
+	}
+	// Every point in [lo,hi] must satisfy OC in target; neighbours must not.
+	for _, p := range []float64{lo[0], hi[0], (lo[0] + hi[0]) / 2} {
+		if !target.Contains(oc([]float64{p})) {
+			t.Errorf("point %v inside reduced interval violates target", p)
+		}
+	}
+	if target.Contains(oc([]float64{fp.NextDown64(lo[0])})) {
+		t.Error("reduced interval not maximal at lo")
+	}
+	if target.Contains(oc([]float64{fp.NextUp64(hi[0])})) {
+		t.Error("reduced interval not maximal at hi")
+	}
+}
+
+func TestDeduceTwoFunctions(t *testing.T) {
+	// OC(s, c) = 0.6*c + 0.8*s (like sinpi's table-based output
+	// compensation with positive table entries): monotone increasing in
+	// both. Soundness: corners of the deduced box stay inside target.
+	s0, c0 := 0.25, 0.97
+	oc := func(v []float64) float64 { return 0.6*v[1] + 0.8*v[0] }
+	mid := oc([]float64{s0, c0})
+	target := interval.Interval{Lo: mid - 1e-13, Hi: mid + 1e-13}
+	lo, hi, _, ok := Deduce([]float64{s0, c0}, oc, target)
+	if !ok {
+		t.Fatal("two-function OC must succeed")
+	}
+	corners := [][]float64{
+		{lo[0], lo[1]}, {hi[0], hi[1]},
+	}
+	for _, c := range corners {
+		if !target.Contains(oc(c)) {
+			t.Errorf("corner %v outside target", c)
+		}
+	}
+	// Monotone OC: the extreme corners are (lo,lo) and (hi,hi); any
+	// mixed corner lies between them.
+	if oc([]float64{lo[0], hi[1]}) < target.Lo-1e-30 || oc([]float64{lo[0], hi[1]}) > target.Hi+1e-30 {
+		t.Error("mixed corner escaped target for monotone OC")
+	}
+	// Intervals must actually have widened beyond the singleton.
+	if lo[0] == s0 && hi[0] == s0 {
+		t.Error("no freedom deduced for the sin component")
+	}
+}
+
+func TestDeduceDecreasingOC(t *testing.T) {
+	// OC(v) = 2 - v: monotone decreasing. Widening must still be sound.
+	v := 0.5
+	oc := func(vals []float64) float64 { return 2 - vals[0] }
+	target := interval.Interval{Lo: 1.5 - 1e-14, Hi: 1.5 + 1e-14}
+	lo, hi, _, ok := Deduce([]float64{v}, oc, target)
+	if !ok {
+		t.Fatal("decreasing OC must succeed")
+	}
+	for _, p := range []float64{lo[0], hi[0]} {
+		if !target.Contains(oc([]float64{p})) {
+			t.Errorf("endpoint %v violates target under decreasing OC", p)
+		}
+	}
+	if !(lo[0] < v && v < hi[0]) {
+		t.Errorf("interval [%v,%v] should straddle %v", lo[0], hi[0], v)
+	}
+}
+
+func TestDeduceFailsWhenCenterOutside(t *testing.T) {
+	target := interval.Interval{Lo: 10, Hi: 11}
+	_, _, _, ok := Deduce([]float64{1}, func(v []float64) float64 { return v[0] }, target)
+	if ok {
+		t.Fatal("Deduce must fail when the oracle values miss the target (Algorithm 2 line 8)")
+	}
+}
+
+func TestDeduceHugeFreedom(t *testing.T) {
+	// Target covering everything: widening must terminate and grant
+	// enormous (capped at 2^62 steps, which is sound: under-widening
+	// only reduces freedom) room on both sides.
+	target := interval.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	lo, hi, _, ok := Deduce([]float64{1}, func(v []float64) float64 { return v[0] }, target)
+	if !ok || !(lo[0] <= -1e-308 || lo[0] < 0) || !(hi[0] > 1e300) {
+		t.Errorf("unbounded target should widen enormously, got [%v,%v]", lo[0], hi[0])
+	}
+}

@@ -1,0 +1,310 @@
+package posit32
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownEncodings(t *testing.T) {
+	cases := []struct {
+		v    float64
+		bits uint32
+	}{
+		{1, 0x40000000},
+		{-1, 0xC0000000},
+		{16, 0x60000000},       // 2^4: regime 110, exp 00
+		{0.5, 0x38000000},      // 2^-1: regime 01, exp 11
+		{2, 0x48000000},        // regime 10, exp 01
+		{4, 0x50000000},        // regime 10, exp 10
+		{1.5, 0x44000000},      // 1 + 2^-1: frac bit 26 set
+		{1.25, 0x42000000},     // 1 + 2^-2
+		{0x1p120, 0x7FFFFFFF},  // MaxPos
+		{0x1p-120, 0x00000001}, // MinPos
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := FromFloat64(c.v); got.Bits() != c.bits {
+			t.Errorf("FromFloat64(%v) = %#x, want %#x", c.v, got.Bits(), c.bits)
+		}
+		if c.v != 0 {
+			if got := FromBits(c.bits).Float64(); got != c.v {
+				t.Errorf("Float64(%#x) = %v, want %v", c.bits, got, c.v)
+			}
+		}
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	if FromFloat64(math.NaN()) != NaR || FromFloat64(math.Inf(1)) != NaR {
+		t.Error("NaN/Inf should map to NaR")
+	}
+	if !math.IsNaN(NaR.Float64()) {
+		t.Error("NaR.Float64() should be NaN")
+	}
+	if FromFloat64(1e40) != MaxPos || FromFloat64(-1e40) != MaxPos.Neg() {
+		t.Error("overflow should saturate to ±MaxPos")
+	}
+	if FromFloat64(1e-40) != MinPos || FromFloat64(-1e-45) != MinPos.Neg() {
+		t.Error("underflow should saturate to ±MinPos")
+	}
+	if FromFloat64(5e-324) != MinPos {
+		t.Error("subnormal double should saturate to MinPos")
+	}
+	if MaxPos.Float64() != 0x1p120 || MinPos.Float64() != 0x1p-120 {
+		t.Error("MaxPos/MinPos values wrong")
+	}
+}
+
+func TestRoundtripSampled(t *testing.T) {
+	// Stride plus random sampling over the full bit-pattern space.
+	check := func(bits uint32) {
+		p := FromBits(bits)
+		if p == NaR {
+			return
+		}
+		v := p.Float64()
+		q := FromFloat64(v)
+		if q != p {
+			t.Fatalf("roundtrip failed: %#x -> %v -> %#x", bits, v, q.Bits())
+		}
+	}
+	for b := uint64(0); b < 1<<32; b += 65537 {
+		check(uint32(b))
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		check(rng.Uint32())
+	}
+}
+
+func TestOrderingMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100000; i++ {
+		a, b := FromBits(rng.Uint32()), FromBits(rng.Uint32())
+		if a == NaR || b == NaR {
+			continue
+		}
+		va, vb := a.Float64(), b.Float64()
+		cmp := a.Cmp(b)
+		switch {
+		case va < vb && cmp != -1, va > vb && cmp != 1, va == vb && cmp != 0:
+			t.Fatalf("Cmp(%#x,%#x)=%d disagrees with values %v,%v", a, b, cmp, va, vb)
+		}
+	}
+}
+
+func TestNextUpDown(t *testing.T) {
+	if One.NextUp().Float64() <= 1 || One.NextDown().Float64() >= 1 {
+		t.Error("NextUp/NextDown around 1 wrong")
+	}
+	if MaxPos.NextUp() != MaxPos {
+		t.Error("NextUp(MaxPos) should saturate")
+	}
+	if MaxPos.Neg().NextDown() != MaxPos.Neg() {
+		t.Error("NextDown(-MaxPos) should saturate")
+	}
+	if NaR.NextUp() != NaR || NaR.NextDown() != NaR {
+		t.Error("NaR should be a fixed point of NextUp/NextDown")
+	}
+	// Zero's neighbours.
+	if Zero.NextUp() != MinPos || Zero.NextDown() != MinPos.Neg() {
+		t.Error("neighbours of zero should be ±MinPos")
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	f := func(bits uint32) bool {
+		p := FromBits(bits)
+		if p == NaR {
+			return p.Neg() == NaR && p.Abs() == NaR
+		}
+		if p.Neg().Neg() != p {
+			return false
+		}
+		return p.Abs().Float64() == math.Abs(p.Float64())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// bigVal returns the exact value of p as a big.Float.
+func bigVal(p Posit, prec uint) *big.Float {
+	return new(big.Float).SetPrec(prec).SetFloat64(p.Float64())
+}
+
+func TestAddMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50000; i++ {
+		a, b := FromBits(rng.Uint32()), FromBits(rng.Uint32())
+		if a == NaR || b == NaR {
+			continue
+		}
+		got := a.Add(b)
+		sum := new(big.Float).SetPrec(300).Add(bigVal(a, 300), bigVal(b, 300))
+		want := RoundBig(sum)
+		if got != want {
+			t.Fatalf("Add(%#x,%#x) = %#x, want %#x (exact %v)", a, b, got, want, sum)
+		}
+	}
+}
+
+func TestMulMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 50000; i++ {
+		a, b := FromBits(rng.Uint32()), FromBits(rng.Uint32())
+		if a == NaR || b == NaR {
+			continue
+		}
+		got := a.Mul(b)
+		prod := new(big.Float).SetPrec(300).Mul(bigVal(a, 300), bigVal(b, 300))
+		want := RoundBig(prod)
+		if got != want {
+			t.Fatalf("Mul(%#x,%#x) = %#x, want %#x", a, b, got, want)
+		}
+	}
+}
+
+func TestDivMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50000; i++ {
+		a, b := FromBits(rng.Uint32()), FromBits(rng.Uint32())
+		if a == NaR || b == NaR || b == Zero {
+			continue
+		}
+		got := a.Div(b)
+		quo := new(big.Float).SetPrec(300).Quo(bigVal(a, 300), bigVal(b, 300))
+		want := RoundBig(quo)
+		if got != want {
+			t.Fatalf("Div(%#x,%#x) = %#x, want %#x", a, b, got, want)
+		}
+	}
+}
+
+func TestArithSpecials(t *testing.T) {
+	if One.Add(NaR) != NaR || NaR.Mul(Zero) != NaR || One.Div(Zero) != NaR {
+		t.Error("NaR/zero-division propagation wrong")
+	}
+	if One.Add(One.Neg()) != Zero {
+		t.Error("1 + (-1) should be 0")
+	}
+	if Zero.Mul(MaxPos) != Zero || Zero.Div(One) != Zero {
+		t.Error("zero arithmetic wrong")
+	}
+	if One.Sub(One) != Zero {
+		t.Error("1 - 1 should be 0")
+	}
+	// Saturation: MaxPos + MaxPos = MaxPos (no overflow in posits).
+	if MaxPos.Add(MaxPos) != MaxPos {
+		t.Error("MaxPos + MaxPos should saturate to MaxPos")
+	}
+	if MaxPos.Mul(MaxPos) != MaxPos {
+		t.Error("MaxPos * MaxPos should saturate")
+	}
+	if MinPos.Mul(MinPos) != MinPos {
+		t.Error("MinPos * MinPos should saturate to MinPos, not zero")
+	}
+}
+
+func TestRoundingIntervalF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 20000; i++ {
+		p := FromBits(rng.Uint32())
+		if p == NaR {
+			continue
+		}
+		lo, hi := p.RoundingIntervalF64()
+		if FromFloat64(lo) != p || FromFloat64(hi) != p {
+			t.Fatalf("interval endpoints of %#x do not round back: [%v,%v]", p, lo, hi)
+		}
+		if p != Zero {
+			if below := nextDown64(lo); FromFloat64(below) == p && !(p == MinPos.Neg() && below < 0) {
+				// For -MaxPos..: going below lo must leave the interval,
+				// except past the extremes where saturation holds.
+				if p != MaxPos.Neg() {
+					t.Fatalf("interval of %#x not tight at lo=%v", p, lo)
+				}
+			}
+			if above := nextUp64(hi); FromFloat64(above) == p && p != MaxPos {
+				t.Fatalf("interval of %#x not tight at hi=%v", p, hi)
+			}
+		}
+	}
+}
+
+func TestRoundBigMatchesFromFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 20000; i++ {
+		v := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		got := RoundBig(new(big.Float).SetPrec(120).SetFloat64(v))
+		want := FromFloat64(v)
+		if got != want {
+			t.Fatalf("RoundBig(%v) = %#x, want %#x", v, got, want)
+		}
+	}
+}
+
+func TestRoundBigBoundaries(t *testing.T) {
+	// Exactly on a boundary: tie must go to the even encoding.
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 5000; i++ {
+		p := FromBits(rng.Uint32() & 0x7FFFFFFF) // positive
+		if p == Zero || p == MaxPos {
+			continue
+		}
+		b := upperBoundary(p)
+		got := RoundBig(new(big.Float).SetPrec(120).SetFloat64(b))
+		want := FromFloat64(b)
+		if got != want {
+			t.Fatalf("boundary of %#x: RoundBig=%#x FromFloat64=%#x", p, got, want)
+		}
+		// The chosen posit must have an even final bit.
+		if want.Bits()&1 != 0 {
+			t.Fatalf("tie at boundary of %#x rounded to odd pattern %#x", p, want)
+		}
+	}
+}
+
+func TestFromInt(t *testing.T) {
+	for _, n := range []int64{0, 1, -1, 2, 3, 10, -37, 1 << 40, -(1 << 50), 1<<62 + 12345} {
+		got := FromInt(n)
+		want := RoundBig(new(big.Float).SetPrec(200).SetInt64(n))
+		if got != want {
+			t.Errorf("FromInt(%d) = %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestUpperBoundaryMonotone(t *testing.T) {
+	// Boundaries must be strictly between the posit and its successor.
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 20000; i++ {
+		p := FromBits(rng.Uint32() & 0x7FFFFFFF)
+		if p == Zero || p == MaxPos {
+			continue
+		}
+		b := upperBoundary(p)
+		if !(p.Float64() < b && b < p.NextUp().Float64()) {
+			t.Fatalf("boundary %v of %#x not between %v and %v", b, p, p.Float64(), p.NextUp().Float64())
+		}
+	}
+}
+
+func BenchmarkFromFloat64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = FromFloat64(1.5 + float64(i%100)*1e-3)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := FromFloat64(1.25), FromFloat64(3.5)
+	for i := 0; i < b.N; i++ {
+		_ = x.Add(y)
+	}
+}

@@ -1,0 +1,103 @@
+package positmath_test
+
+import (
+	"math"
+	"testing"
+
+	"rlibm32/internal/checks"
+	"rlibm32/posit32"
+	"rlibm32/posit32/positmath"
+)
+
+func TestTable2RlibmColumn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle-heavy")
+	}
+	ps := checks.SamplePosit32(20000)
+	for _, name := range positmath.Names() {
+		res := checks.CheckPosit32("rlibm", name, ps)
+		if !res.Correct() {
+			t.Errorf("%s: %d/%d wrong results (e.g. x=%v)", name, res.Wrong, res.Tested, res.Example)
+		}
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	if positmath.Exp(posit32.Zero) != posit32.One {
+		t.Error("Exp(0) != 1")
+	}
+	if positmath.Log(posit32.One) != posit32.Zero {
+		t.Error("Log(1) != 0")
+	}
+	if positmath.Log(posit32.Zero) != posit32.NaR {
+		t.Error("Log(0) should be NaR")
+	}
+	if positmath.Log(posit32.One.Neg()) != posit32.NaR {
+		t.Error("Log(-1) should be NaR")
+	}
+	for _, name := range positmath.Names() {
+		f, _ := positmath.Func(name)
+		if f(posit32.NaR) != posit32.NaR {
+			t.Errorf("%s(NaR) should be NaR", name)
+		}
+	}
+	// Saturation (the posit difference the paper highlights: no
+	// overflow to infinity, no underflow to zero).
+	big := posit32.FromFloat64(100)
+	if positmath.Exp(big) != posit32.MaxPos {
+		t.Error("Exp(100) should saturate to MaxPos")
+	}
+	if positmath.Exp(big.Neg()) != posit32.MinPos {
+		t.Error("Exp(-100) should saturate to MinPos, not zero")
+	}
+	if positmath.Cosh(big) != posit32.MaxPos {
+		t.Error("Cosh(100) should saturate to MaxPos")
+	}
+	if positmath.Sinh(big.Neg()) != posit32.MaxPos.Neg() {
+		t.Error("Sinh(-100) should saturate to -MaxPos")
+	}
+}
+
+func TestExactPoints(t *testing.T) {
+	// log2 of exact powers of two within posit range.
+	for e := -120; e <= 120; e += 4 {
+		x := posit32.FromFloat64(math.Ldexp(1, e))
+		want := posit32.FromFloat64(float64(e))
+		if got := positmath.Log2(x); got != want {
+			t.Errorf("Log2(2^%d) = %#x, want %#x", e, got, want)
+		}
+	}
+	for k := -20; k <= 20; k++ {
+		want := posit32.FromFloat64(math.Ldexp(1, k))
+		if got := positmath.Exp2(posit32.FromInt(int64(k))); got != want {
+			t.Errorf("Exp2(%d) wrong", k)
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	for i := uint32(1); i < 1<<31; i += 9999991 {
+		p := posit32.FromBits(i)
+		if positmath.Sinh(p.Neg()) != positmath.Sinh(p).Neg() {
+			t.Fatalf("sinh not odd at %#x", i)
+		}
+		if positmath.Cosh(p.Neg()) != positmath.Cosh(p) {
+			t.Fatalf("cosh not even at %#x", i)
+		}
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	// exp(log(x)) drifts by at most a few ulps of x: log's half-ulp
+	// rounding error is amplified by exp with factor |log(x)| relative
+	// to x's own ulp scale (posit ulps of the log value are coarse at
+	// large magnitudes). A loose bound still catches real breakage.
+	for i := uint32(1); i < 1<<31; i += 7777777 {
+		p := posit32.FromBits(i)
+		q := positmath.Exp(positmath.Log(p))
+		drift := int64(int32(q.Bits())) - int64(int32(p.Bits()))
+		if drift < -64 || drift > 64 {
+			t.Fatalf("exp(log(%#x)) = %#x drifted %d steps", p, q, drift)
+		}
+	}
+}

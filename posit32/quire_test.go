@@ -1,0 +1,108 @@
+package posit32
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestQuireSumExact(t *testing.T) {
+	// Catastrophic cancellation that naive posit addition cannot
+	// survive: big + tiny - big must leave exactly tiny.
+	big1 := FromFloat64(1e20)
+	tiny := FromFloat64(3.0)
+	var q Quire
+	q.Add(big1).Add(tiny).Sub(big1)
+	if got := q.Posit(); got != tiny {
+		t.Errorf("quire cancellation: got %v, want 3", got.Float64())
+	}
+	// Naive sequential rounding loses the 3 entirely.
+	naive := big1.Add(tiny).Sub(big1)
+	if naive == tiny {
+		t.Skip("posit precision unexpectedly survived; pick a bigger gap")
+	}
+}
+
+func TestQuireDotMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(20)
+		a := make([]Posit, n)
+		b := make([]Posit, n)
+		exact := new(big.Float).SetPrec(600)
+		for i := 0; i < n; i++ {
+			a[i] = FromBits(rng.Uint32())
+			b[i] = FromBits(rng.Uint32())
+			if a[i] == NaR || b[i] == NaR {
+				a[i], b[i] = One, One
+			}
+			prod := new(big.Float).SetPrec(600).SetFloat64(a[i].Float64())
+			prod.Mul(prod, new(big.Float).SetPrec(600).SetFloat64(b[i].Float64()))
+			exact.Add(exact, prod)
+		}
+		got := Dot(a, b)
+		want := RoundBig(exact)
+		if got != want {
+			t.Fatalf("trial %d: Dot=%#x, exact rounding=%#x", trial, got, want)
+		}
+	}
+}
+
+func TestQuireSumMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(30)
+		v := make([]Posit, n)
+		exact := new(big.Float).SetPrec(600)
+		for i := range v {
+			v[i] = FromBits(rng.Uint32())
+			if v[i] == NaR {
+				v[i] = MinPos
+			}
+			exact.Add(exact, new(big.Float).SetPrec(600).SetFloat64(v[i].Float64()))
+		}
+		got := Sum(v)
+		var want Posit
+		if exact.Sign() == 0 {
+			want = Zero
+		} else {
+			want = RoundBig(exact)
+		}
+		if got != want {
+			t.Fatalf("trial %d: Sum=%#x, exact=%#x", trial, got, want)
+		}
+	}
+}
+
+func TestQuireNaR(t *testing.T) {
+	var q Quire
+	q.Add(One).Add(NaR)
+	if !q.IsNaR() || q.Posit() != NaR {
+		t.Error("NaR must poison the quire")
+	}
+	q.Reset()
+	if q.IsNaR() || q.Posit() != Zero {
+		t.Error("Reset must clear NaR and value")
+	}
+	if Dot([]Posit{One}, []Posit{One, One}) != NaR {
+		t.Error("length mismatch must be NaR")
+	}
+}
+
+func TestQuireExtremes(t *testing.T) {
+	// MaxPos² + (-MaxPos²) cancels exactly even though each term is far
+	// outside the posit range.
+	var q Quire
+	q.AddProduct(MaxPos, MaxPos)
+	q.AddProduct(MaxPos.Neg(), MaxPos)
+	q.Add(One)
+	if got := q.Posit(); got != One {
+		t.Errorf("extreme cancellation: got %v, want 1", got.Float64())
+	}
+	// MinPos² accumulates without flushing to zero.
+	q.Reset()
+	q.AddProduct(MinPos, MinPos)
+	if got := q.Posit(); got != MinPos {
+		t.Errorf("MinPos² should round (saturate) to MinPos, got %#x", got)
+	}
+}
