@@ -80,6 +80,7 @@ func BenchmarkPosit32(b *testing.B) {
 func BenchmarkBatch1024(b *testing.B) {
 	for _, name := range []string{"exp", "log2", "cospi"} {
 		rf, _ := rlibm.Func(name)
+		bf2, _ := rlibm.FuncSlice(name)
 		xs := perf.Float32Inputs(name, 1024)
 		out := make([]float32, 1024)
 		b.Run(name+"/rlibm", func(b *testing.B) {
@@ -87,6 +88,12 @@ func BenchmarkBatch1024(b *testing.B) {
 				for j, x := range xs {
 					out[j] = rf(x)
 				}
+			}
+			sink = out[0]
+		})
+		b.Run(name+"/rlibm-batch", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bf2(out, xs)
 			}
 			sink = out[0]
 		})

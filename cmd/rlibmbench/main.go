@@ -92,6 +92,22 @@ func main() {
 			fmt.Printf(" %11.2fx", geomean(geo[lib]))
 		}
 		fmt.Println()
+		fmt.Println()
+	}
+
+	if *typ == "float" || *typ == "all" {
+		fmt.Println("§4.3 batch kernels: scalar entry point vs EvalSlice")
+		fmt.Printf("%-8s %11s %11s %10s\n", "f(x)", "scalar ns", "batch ns", "speedup")
+		var factors []float64
+		for _, name := range rangered.FloatNames {
+			s, ok := perf.CompareBatch(name, *n, *reps)
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-8s %10.1f  %10.1f  %8.2fx\n", name, s.ScalarNs, s.BatchNs, s.Factor())
+			factors = append(factors, s.Factor())
+		}
+		fmt.Printf("%-8s %11s %11s %9.2fx\n", "geomean", "", "", geomean(factors))
 	}
 }
 

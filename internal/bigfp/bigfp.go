@@ -20,6 +20,11 @@
 //   - sinh/cosh: exp-based for |x| ≥ 1, Taylor for the cancellation-
 //     prone small-|x| sinh;
 //   - π via Machin's formula, ln2 and ln10 via fast atanh series.
+//
+// All scratch big.Floats live in sync.Pool-backed per-evaluation
+// arenas, so a Ziv iteration costs O(1) allocations instead of one per
+// series term; the shared constants (π, ln 2, ln 10) are served from a
+// lock-free copy-on-write snapshot.
 package bigfp
 
 import (
@@ -27,6 +32,7 @@ import (
 	"math"
 	"math/big"
 	"sync"
+	"sync/atomic"
 )
 
 // Func identifies an elementary function supported by the oracle.
@@ -79,68 +85,143 @@ const guard = 64
 // integer) are returned as exact zeros.
 func Eval(f Func, x float64, prec uint) *big.Float {
 	p := prec + guard
+	a := getArena(p)
+	w := evalArena(f, x, p, a)
+	// The result must outlive the arena: copy it out before release.
+	r := new(big.Float).Copy(w)
+	a.release()
+	return r
+}
+
+// EvalTo is Eval with a caller-provided destination: the result is
+// stored in dst (reusing its mantissa storage when large enough) and
+// dst is returned. Hot callers like the oracle's Ziv loop use it to
+// keep a full retry ladder allocation-free.
+func EvalTo(dst *big.Float, f Func, x float64, prec uint) *big.Float {
+	p := prec + guard
+	a := getArena(p)
+	w := evalArena(f, x, p, a)
+	dst.Copy(w)
+	a.release()
+	return dst
+}
+
+// evalArena dispatches to the kernels with all scratch drawn from a.
+// The returned value is arena-owned.
+func evalArena(f Func, x float64, p uint, a *arena) *big.Float {
 	switch f {
 	case Exp:
-		return expBig(setF(x, p), p)
+		return expBig(a.setF(x), p, a)
 	case Exp2:
-		return exp2Big(x, p)
+		return exp2Big(x, p, a)
 	case Exp10:
-		ln10 := constLn10(p)
-		arg := setF(x, p)
-		arg.Mul(arg, ln10)
-		return expBig(arg, p)
+		arg := a.setF(x)
+		arg.Mul(arg, constLn10(p))
+		return expBig(arg, p, a)
 	case Log:
-		return logBig(setF(x, p), p)
+		return logBig(a.setF(x), p, a)
 	case Log2:
-		r := logBig(setF(x, p), p)
+		r := logBig(a.setF(x), p, a)
 		return r.Quo(r, constLn2(p))
 	case Log10:
-		r := logBig(setF(x, p), p)
+		r := logBig(a.setF(x), p, a)
 		return r.Quo(r, constLn10(p))
 	case Log1p:
-		return log1pBig(x, p)
+		return log1pBig(x, p, a)
 	case Log21p:
-		r := log1pBig(x, p)
+		r := log1pBig(x, p, a)
 		return r.Quo(r, constLn2(p))
 	case Log101p:
-		r := log1pBig(x, p)
+		r := log1pBig(x, p, a)
 		return r.Quo(r, constLn10(p))
 	case Sinh:
-		return sinhBig(x, p)
+		return sinhBig(x, p, a)
 	case Cosh:
-		return coshBig(x, p)
+		return coshBig(x, p, a)
 	case SinPi:
-		return sinPiBig(x, p)
+		return sinPiBig(x, p, a)
 	case CosPi:
-		return cosPiBig(x, p)
+		return cosPiBig(x, p, a)
 	}
 	panic("bigfp: unknown function " + f.String())
 }
 
-// setF converts a float64 exactly to a big.Float of precision p.
-func setF(x float64, p uint) *big.Float {
-	return new(big.Float).SetPrec(p).SetFloat64(x)
+// --- scratch arenas ----------------------------------------------------
+
+// arena is a per-evaluation scratch pool: every temporary big.Float of
+// one Eval call is drawn from it and the whole set is recycled through
+// a sync.Pool on release. Mantissa storage is retained across
+// evaluations, so a warmed-up arena allocates nothing.
+type arena struct {
+	prec uint
+	buf  []*big.Float
+	n    int
 }
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+func getArena(prec uint) *arena {
+	a := arenaPool.Get().(*arena)
+	a.prec = prec
+	a.n = 0
+	return a
+}
+
+func (a *arena) release() { arenaPool.Put(a) }
+
+// new returns a zero-valued big.Float at the arena's working precision.
+// Arena values must not escape the evaluation that drew them: they are
+// reused verbatim by the next evaluation after release.
+func (a *arena) new() *big.Float {
+	if a.n == len(a.buf) {
+		a.buf = append(a.buf, new(big.Float))
+	}
+	f := a.buf[a.n]
+	a.n++
+	return f.SetPrec(a.prec).SetInt64(0)
+}
+
+// setF returns x as an arena-owned big.Float (the conversion is exact).
+func (a *arena) setF(x float64) *big.Float { return a.new().SetFloat64(x) }
+
+// setI returns v as an arena-owned big.Float.
+func (a *arena) setI(v int64) *big.Float { return a.new().SetInt64(v) }
 
 // --- constants ---------------------------------------------------------
 
+// constCache serves shared constants from an immutable copy-on-write
+// snapshot: readers take no lock (a single atomic load), writers
+// serialize on mu and publish a fresh map. The cached values are shared
+// and must never be mutated.
 type constCache struct {
 	mu   sync.Mutex
-	vals map[uint]*big.Float
+	snap atomic.Pointer[map[uint]*big.Float]
 	gen  func(p uint) *big.Float
 }
 
 func (c *constCache) at(p uint) *big.Float {
+	if m := c.snap.Load(); m != nil {
+		if v, ok := (*m)[p]; ok {
+			return v
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if v, ok := c.vals[p]; ok {
-		return v
+	old := c.snap.Load()
+	if old != nil {
+		if v, ok := (*old)[p]; ok {
+			return v
+		}
 	}
 	v := c.gen(p)
-	if c.vals == nil {
-		c.vals = make(map[uint]*big.Float)
+	next := make(map[uint]*big.Float, 8)
+	if old != nil {
+		for k, x := range *old {
+			next[k] = x
+		}
 	}
-	c.vals[p] = v
+	next[p] = v
+	c.snap.Store(&next)
 	return v
 }
 
@@ -172,7 +253,8 @@ func Pi(prec uint) *big.Float { return clone(constPi(prec + guard)) }
 func clone(x *big.Float) *big.Float { return new(big.Float).Copy(x) }
 
 // atanhRecipSeries computes atanh(num/den) = Σ (num/den)^(2k+1)/(2k+1)
-// for small rational num/den, at precision p.
+// for small rational num/den, at precision p. (Constant generation
+// only, so it allocates freely.)
 func atanhRecipSeries(num, den int64, p uint) *big.Float {
 	z := new(big.Float).SetPrec(p).SetInt64(num)
 	z.Quo(z, new(big.Float).SetPrec(p).SetInt64(den))
@@ -248,20 +330,20 @@ func genPi(p uint) *big.Float {
 
 // expBig computes e^x at working precision p for |x| up to a few
 // thousand.
-func expBig(x *big.Float, p uint) *big.Float {
+func expBig(x *big.Float, p uint, a *arena) *big.Float {
 	if x.Sign() == 0 {
-		return new(big.Float).SetPrec(p).SetInt64(1)
+		return a.setI(1)
 	}
 	ln2 := constLn2(p)
 	// k = round(x / ln2).
-	q := new(big.Float).SetPrec(p).Quo(x, ln2)
+	q := a.new().Quo(x, ln2)
 	qf, _ := q.Float64()
 	if qf > 1e8 || qf < -1e8 {
 		// Saturate: |result| is far beyond every representable range of
 		// the 32-bit targets (and of float64); callers only compare it
 		// against finite bounds. 2^±2^28 stays within big.Float's
 		// exponent range.
-		r := new(big.Float).SetPrec(p).SetInt64(1)
+		r := a.setI(1)
 		if qf > 0 {
 			return r.SetMantExp(r, 1<<28)
 		}
@@ -269,7 +351,7 @@ func expBig(x *big.Float, p uint) *big.Float {
 	}
 	k := int(math.Round(qf))
 	// r = x - k*ln2, |r| <= ln2/2 + tiny.
-	r := new(big.Float).SetPrec(p).SetInt64(int64(k))
+	r := a.setI(int64(k))
 	r.Mul(r, ln2)
 	r.Sub(x, r)
 	// Scale r down below 2^-8: t = r / 2^s.
@@ -280,14 +362,15 @@ func expBig(x *big.Float, p uint) *big.Float {
 			s = e + 8
 		}
 	}
-	t := new(big.Float).SetPrec(p).SetMantExp(r, -s)
+	t := a.new().SetMantExp(r, -s)
 	// Taylor: e^t = Σ t^n / n!.
-	sum := new(big.Float).SetPrec(p).SetInt64(1)
-	term := new(big.Float).SetPrec(p).SetInt64(1)
+	sum := a.setI(1)
+	term := a.setI(1)
+	den := a.new()
 	thresh := int(p) + 4
 	for n := int64(1); ; n++ {
 		term.Mul(term, t)
-		term.Quo(term, new(big.Float).SetPrec(p).SetInt64(n))
+		term.Quo(term, den.SetInt64(n))
 		sum.Add(sum, term)
 		if term.Sign() == 0 || term.MantExp(nil)-sum.MantExp(nil) < -thresh {
 			break
@@ -303,9 +386,9 @@ func expBig(x *big.Float, p uint) *big.Float {
 
 // exp2Big computes 2^x for a float64 x, using the exact split
 // x = i + f with i = round(x), so the 2^i factor is exact.
-func exp2Big(x float64, p uint) *big.Float {
+func exp2Big(x float64, p uint, a *arena) *big.Float {
 	if x > 1e8 || x < -1e8 {
-		r := new(big.Float).SetPrec(p).SetInt64(1)
+		r := a.setI(1)
 		if x > 0 {
 			return r.SetMantExp(r, 1<<28)
 		}
@@ -313,52 +396,53 @@ func exp2Big(x float64, p uint) *big.Float {
 	}
 	i := math.Round(x)
 	f := x - i // exact: i and x share the same scale
-	arg := setF(f, p)
+	arg := a.setF(f)
 	arg.Mul(arg, constLn2(p))
-	r := expBig(arg, p)
+	r := expBig(arg, p, a)
 	return r.SetMantExp(r, int(i))
 }
 
 // --- log ---------------------------------------------------------------
 
 // logBig computes ln(x) for x > 0 at working precision p.
-func logBig(x *big.Float, p uint) *big.Float {
+func logBig(x *big.Float, p uint, a *arena) *big.Float {
 	if x.Sign() <= 0 {
 		panic("bigfp: log of non-positive value")
 	}
 	// x = m * 2^k with m in [0.5, 1); renormalize to m in [0.75, 1.5).
-	mant := new(big.Float).SetPrec(p)
+	mant := a.new()
 	k := x.MantExp(mant)
-	threeQuarters := new(big.Float).SetPrec(p).SetFloat64(0.75)
+	threeQuarters := a.setF(0.75)
 	if mant.Cmp(threeQuarters) < 0 {
 		mant.SetMantExp(mant, 1) // m *= 2
 		k--
 	}
 	// ln m = 2 atanh(z), z = (m-1)/(m+1), |z| <= 1/5.
-	one := new(big.Float).SetPrec(p).SetInt64(1)
-	num := new(big.Float).SetPrec(p).Sub(mant, one)
-	den := new(big.Float).SetPrec(p).Add(mant, one)
-	z := new(big.Float).SetPrec(p).Quo(num, den)
-	lnm := atanhSeries(z, p)
+	one := a.setI(1)
+	num := a.new().Sub(mant, one)
+	den := a.new().Add(mant, one)
+	z := a.new().Quo(num, den)
+	lnm := atanhSeries(z, p, a)
 	lnm.Add(lnm, lnm)
 	// ln x = k ln2 + ln m.
-	kl := new(big.Float).SetPrec(p).SetInt64(int64(k))
+	kl := a.setI(int64(k))
 	kl.Mul(kl, constLn2(p))
 	return lnm.Add(lnm, kl)
 }
 
 // atanhSeries computes atanh(z) for |z| <= 0.25 by Taylor series.
-func atanhSeries(z *big.Float, p uint) *big.Float {
+func atanhSeries(z *big.Float, p uint, a *arena) *big.Float {
 	if z.Sign() == 0 {
-		return new(big.Float).SetPrec(p)
+		return a.new()
 	}
-	z2 := new(big.Float).SetPrec(p).Mul(z, z)
-	sum := new(big.Float).SetPrec(p)
-	term := new(big.Float).SetPrec(p).Set(z)
-	t := new(big.Float).SetPrec(p)
+	z2 := a.new().Mul(z, z)
+	sum := a.new()
+	term := a.new().Set(z)
+	t := a.new()
+	den := a.new()
 	thresh := int(p) + 4
 	for k := int64(0); ; k++ {
-		t.Quo(term, new(big.Float).SetPrec(p).SetInt64(2*k+1))
+		t.Quo(term, den.SetInt64(2*k+1))
 		sum.Add(sum, t)
 		term.Mul(term, z2)
 		if term.Sign() == 0 || term.MantExp(nil)-sum.MantExp(nil) < -thresh {
@@ -370,33 +454,33 @@ func atanhSeries(z *big.Float, p uint) *big.Float {
 
 // log1pBig computes ln(1+x) for x > -1, avoiding cancellation for
 // small |x| via ln(1+x) = 2 atanh(x/(2+x)).
-func log1pBig(x float64, p uint) *big.Float {
+func log1pBig(x float64, p uint, a *arena) *big.Float {
 	if x <= -1 {
 		panic("bigfp: log1p domain error")
 	}
 	if x == 0 {
-		return new(big.Float).SetPrec(p)
+		return a.new()
 	}
 	if math.Abs(x) < 0.5 {
-		xb := setF(x, p)
-		den := new(big.Float).SetPrec(p).SetInt64(2)
+		xb := a.setF(x)
+		den := a.setI(2)
 		den.Add(den, xb)
-		z := new(big.Float).SetPrec(p).Quo(xb, den)
-		r := atanhSeries(z, p)
+		z := a.new().Quo(xb, den)
+		r := atanhSeries(z, p, a)
 		return r.Add(r, r)
 	}
 	// 1+x is exact at precision p >= 64+53.
-	xb := setF(x, p)
-	one := new(big.Float).SetPrec(p).SetInt64(1)
-	return logBig(xb.Add(xb, one), p)
+	xb := a.setF(x)
+	one := a.setI(1)
+	return logBig(xb.Add(xb, one), p, a)
 }
 
 // --- sinh / cosh -------------------------------------------------------
 
-func sinhBig(x float64, p uint) *big.Float {
+func sinhBig(x float64, p uint, a *arena) *big.Float {
 	if x == 0 {
 		// Preserve the sign of zero for completeness.
-		return setF(x, p)
+		return a.setF(x)
 	}
 	ax := math.Abs(x)
 	var r *big.Float
@@ -405,7 +489,7 @@ func sinhBig(x float64, p uint) *big.Float {
 		// cannot change the rounded result, and big.Float addition
 		// across an exponent gap of 2·ax/ln2 bits is catastrophically
 		// slow for large ax (it aligns mantissas bit by bit).
-		r = expBig(setF(ax, p), p)
+		r = expBig(a.setF(ax), p, a)
 		r.SetMantExp(r, -1)
 		if x < 0 {
 			r.Neg(r)
@@ -414,14 +498,15 @@ func sinhBig(x float64, p uint) *big.Float {
 	}
 	if ax < 1 {
 		// Taylor: sinh t = Σ t^(2k+1)/(2k+1)!.
-		t := setF(ax, p)
-		t2 := new(big.Float).SetPrec(p).Mul(t, t)
-		sum := new(big.Float).SetPrec(p).Set(t)
-		term := new(big.Float).SetPrec(p).Set(t)
+		t := a.setF(ax)
+		t2 := a.new().Mul(t, t)
+		sum := a.new().Set(t)
+		term := a.new().Set(t)
+		den := a.new()
 		thresh := int(p) + 4
 		for k := int64(1); ; k++ {
 			term.Mul(term, t2)
-			term.Quo(term, new(big.Float).SetPrec(p).SetInt64(2*k*(2*k+1)))
+			term.Quo(term, den.SetInt64(2*k*(2*k+1)))
 			sum.Add(sum, term)
 			if term.Sign() == 0 || term.MantExp(nil)-sum.MantExp(nil) < -thresh {
 				break
@@ -429,8 +514,8 @@ func sinhBig(x float64, p uint) *big.Float {
 		}
 		r = sum
 	} else {
-		e := expBig(setF(ax, p), p)
-		inv := new(big.Float).SetPrec(p).Quo(new(big.Float).SetPrec(p).SetInt64(1), e)
+		e := expBig(a.setF(ax), p, a)
+		inv := a.new().Quo(a.setI(1), e)
 		r = e.Sub(e, inv)
 		r.SetMantExp(r, -1) // /2
 	}
@@ -440,16 +525,16 @@ func sinhBig(x float64, p uint) *big.Float {
 	return r
 }
 
-func coshBig(x float64, p uint) *big.Float {
+func coshBig(x float64, p uint, a *arena) *big.Float {
 	ax := math.Abs(x)
 	if ax > 0.35*float64(p+16) {
 		// See sinhBig: the e^-ax term is sub-ulp and the wide-gap
 		// addition is pathologically slow.
-		r := expBig(setF(ax, p), p)
+		r := expBig(a.setF(ax), p, a)
 		return r.SetMantExp(r, -1)
 	}
-	e := expBig(setF(ax, p), p)
-	inv := new(big.Float).SetPrec(p).Quo(new(big.Float).SetPrec(p).SetInt64(1), e)
+	e := expBig(a.setF(ax), p, a)
+	inv := a.new().Quo(a.setI(1), e)
 	r := e.Add(e, inv)
 	if r.Sign() != 0 {
 		r.SetMantExp(r, -1) // /2
@@ -491,17 +576,18 @@ func reducePi(x float64) (L float64, sSign, cSign int) {
 }
 
 // sinSeries computes sin(t) for 0 <= t <= 1.6 at precision p.
-func sinSeries(t *big.Float, p uint) *big.Float {
+func sinSeries(t *big.Float, p uint, a *arena) *big.Float {
 	if t.Sign() == 0 {
-		return new(big.Float).SetPrec(p)
+		return a.new()
 	}
-	t2 := new(big.Float).SetPrec(p).Mul(t, t)
-	sum := new(big.Float).SetPrec(p).Set(t)
-	term := new(big.Float).SetPrec(p).Set(t)
+	t2 := a.new().Mul(t, t)
+	sum := a.new().Set(t)
+	term := a.new().Set(t)
+	den := a.new()
 	thresh := int(p) + 4
 	for k := int64(1); ; k++ {
 		term.Mul(term, t2)
-		term.Quo(term, new(big.Float).SetPrec(p).SetInt64(2*k*(2*k+1)))
+		term.Quo(term, den.SetInt64(2*k*(2*k+1)))
 		if k%2 == 1 {
 			sum.Sub(sum, term)
 		} else {
@@ -515,14 +601,15 @@ func sinSeries(t *big.Float, p uint) *big.Float {
 }
 
 // cosSeries computes cos(t) for 0 <= t <= 1.6 at precision p.
-func cosSeries(t *big.Float, p uint) *big.Float {
-	t2 := new(big.Float).SetPrec(p).Mul(t, t)
-	sum := new(big.Float).SetPrec(p).SetInt64(1)
-	term := new(big.Float).SetPrec(p).SetInt64(1)
+func cosSeries(t *big.Float, p uint, a *arena) *big.Float {
+	t2 := a.new().Mul(t, t)
+	sum := a.setI(1)
+	term := a.setI(1)
+	den := a.new()
 	thresh := int(p) + 4
 	for k := int64(1); ; k++ {
 		term.Mul(term, t2)
-		term.Quo(term, new(big.Float).SetPrec(p).SetInt64((2*k-1)*(2*k)))
+		term.Quo(term, den.SetInt64((2*k-1)*(2*k)))
 		if k%2 == 1 {
 			sum.Sub(sum, term)
 		} else {
@@ -535,28 +622,28 @@ func cosSeries(t *big.Float, p uint) *big.Float {
 	return sum
 }
 
-func sinPiBig(x float64, p uint) *big.Float {
+func sinPiBig(x float64, p uint, a *arena) *big.Float {
 	L, sSign, _ := reducePi(x)
 	if L == 0 {
-		return new(big.Float).SetPrec(p) // exact zero
+		return a.new() // exact zero
 	}
-	t := setF(L, p)
+	t := a.setF(L)
 	t.Mul(t, constPi(p))
-	r := sinSeries(t, p)
+	r := sinSeries(t, p, a)
 	if sSign < 0 {
 		r.Neg(r)
 	}
 	return r
 }
 
-func cosPiBig(x float64, p uint) *big.Float {
+func cosPiBig(x float64, p uint, a *arena) *big.Float {
 	L, _, cSign := reducePi(x)
 	if L == 0.5 {
-		return new(big.Float).SetPrec(p) // cos(π/2) = 0 exactly
+		return a.new() // cos(π/2) = 0 exactly
 	}
-	t := setF(L, p)
+	t := a.setF(L)
 	t.Mul(t, constPi(p))
-	r := cosSeries(t, p)
+	r := cosSeries(t, p, a)
 	if cSign < 0 {
 		r.Neg(r)
 	}

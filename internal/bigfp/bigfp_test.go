@@ -233,6 +233,15 @@ func TestFuncString(t *testing.T) {
 	}
 }
 
+// BenchmarkBigfpLn is the EXPERIMENTS.md allocation benchmark for the
+// arena-pooled evaluation kernels.
+func BenchmarkBigfpLn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Eval(Log, 1.2345+float64(i%7)*0.1, 96)
+	}
+}
+
 func BenchmarkEvalExp96(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Eval(Exp, 1.2345+float64(i%7)*0.1, 96)

@@ -3,6 +3,11 @@
 // the oracle over a deterministic, representation-proportional sample
 // (every exponent/regime plus dense windows at special-case
 // boundaries) and counts wrong results.
+//
+// The oracle is consulted through internal/oracle's memoization layer:
+// each Check* entry point bulk-fills the cache once per (function,
+// sample) and the per-library comparison loops run against cache hits,
+// so checking N libraries costs one oracle pass instead of N.
 package checks
 
 import (
@@ -32,17 +37,52 @@ var OracleFunc = map[string]bigfp.Func{
 }
 
 // Result is one cell of Table 1/2: the number of wrong results a
-// library produced on the sample, plus an example input.
+// library produced on the sample, plus an example input (valid iff
+// Wrong > 0; the lowest-ordinal wrong input, so reproductions are
+// stable across GOMAXPROCS).
 type Result struct {
 	Library string
 	Func    string
 	Tested  int
 	Wrong   int
-	Example float64 // an input with a wrong result (if Wrong > 0)
+	Example float64
 }
 
 // Correct reports the table checkmark: zero wrong results.
 func (r Result) Correct() bool { return r.Wrong == 0 }
+
+// exAcc accumulates the lowest-ordinal wrong example for one worker.
+// A found flag (not a zero sentinel) marks validity, so a wrong result
+// at input 0 is reported like any other.
+type exAcc struct {
+	wrong   int
+	found   bool
+	ord     int64
+	example float64
+}
+
+// note records a wrong result at ordinal o for input x.
+func (a *exAcc) note(o int64, x float64) {
+	a.wrong++
+	if !a.found || o < a.ord {
+		a.found, a.ord, a.example = true, o, x
+	}
+}
+
+// mergeExamples folds the workers' accumulators into the result cell,
+// keeping the lowest ordinal across all of them.
+func mergeExamples(res *Result, accs []exAcc) {
+	best := exAcc{}
+	for _, a := range accs {
+		res.Wrong += a.wrong
+		if a.found && (!best.found || a.ord < best.ord) {
+			best.found, best.ord, best.example = true, a.ord, a.example
+		}
+	}
+	if best.found {
+		res.Example = best.example
+	}
+}
 
 // SampleFloat32 yields n deterministic float32 inputs: ordinal-uniform
 // over all finite values plus 2^win values around every power of two
@@ -128,9 +168,18 @@ func fromOrd32(i int32) float32 {
 	return math.Float32frombits(uint32(i))
 }
 
+// implOverride lets tests inject synthetic float32 libraries (to
+// exercise the accumulator edge cases no real library hits).
+var implOverride func(lib, name string) func(float32) float32
+
 // float32Impl returns the implementation of name in the given library
 // ("rlibm" or a baselines.Library).
 func float32Impl(lib, name string) func(float32) float32 {
+	if implOverride != nil {
+		if f := implOverride(lib, name); f != nil {
+			return f
+		}
+	}
 	if lib == "rlibm" {
 		f, _ := rlibm.Func(name)
 		return f
@@ -141,53 +190,7 @@ func float32Impl(lib, name string) func(float32) float32 {
 // CheckFloat32 produces one Table 1 row cell: wrong-result count for
 // the library's implementation of name over xs.
 func CheckFloat32(lib, name string, xs []float32) Result {
-	f := float32Impl(lib, name)
-	res := Result{Library: lib, Func: name}
-	if f == nil {
-		res.Tested = -1 // N/A
-		return res
-	}
-	of := OracleFunc[name]
-	workers := runtime.GOMAXPROCS(0)
-	type acc struct {
-		wrong   int
-		example float64
-	}
-	accs := make([]acc, workers)
-	var wg sync.WaitGroup
-	chunk := (len(xs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(xs) {
-			hi = len(xs)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for _, x := range xs[lo:hi] {
-				got := f(x)
-				want := oracle.Float32(of, float64(x))
-				if !same32(got, want) {
-					accs[w].wrong++
-					if accs[w].example == 0 {
-						accs[w].example = float64(x)
-					}
-				}
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	res.Tested = len(xs)
-	for _, a := range accs {
-		res.Wrong += a.wrong
-		if res.Example == 0 {
-			res.Example = a.example
-		}
-	}
-	return res
+	return CheckFloat32Multi([]string{lib}, name, xs)[0]
 }
 
 func same32(a, b float32) bool {
@@ -199,77 +202,15 @@ func same32(a, b float32) bool {
 
 // CheckPosit32 produces one Table 2 cell.
 func CheckPosit32(lib, name string, ps []posit32.Posit) Result {
-	var f func(posit32.Posit) posit32.Posit
-	if lib == "rlibm" {
-		f, _ = positmath.Func(name)
-	} else {
-		f = baselines.FuncPosit(baselines.Library(lib), name)
-	}
-	res := Result{Library: lib, Func: name}
-	if f == nil {
-		res.Tested = -1
-		return res
-	}
-	of := OracleFunc[name]
-	tgt := interval.Posit32Target{}
-	workers := runtime.GOMAXPROCS(0)
-	type acc struct {
-		wrong   int
-		example float64
-	}
-	accs := make([]acc, workers)
-	var wg sync.WaitGroup
-	chunk := (len(ps) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(ps) {
-			hi = len(ps)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for _, p := range ps[lo:hi] {
-				x := p.Float64()
-				if name == "ln" || name == "log2" || name == "log10" {
-					if x <= 0 {
-						continue // NaR result; all libraries agree trivially
-					}
-				}
-				got := f(p)
-				wantF, ok := oracle.Target(tgt, of, x)
-				var want posit32.Posit
-				if !ok {
-					want = posit32.NaR
-				} else {
-					want = posit32.FromFloat64(wantF)
-				}
-				if got != want {
-					accs[w].wrong++
-					if accs[w].example == 0 {
-						accs[w].example = x
-					}
-				}
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	res.Tested = len(ps)
-	for _, a := range accs {
-		res.Wrong += a.wrong
-		if res.Example == 0 {
-			res.Example = a.example
-		}
-	}
-	return res
+	return CheckPosit32Multi([]string{lib}, name, ps)[0]
 }
 
 // CheckMini runs the *exhaustive* correctness check for a 16-bit
 // variant ("bfloat16", "float16" or "posit16"): every one of the 65536
 // bit patterns is compared against the oracle — the same
 // full-input-space guarantee the paper establishes for its libraries.
+// The oracle values are served from the shared cache, so checking
+// several libraries evaluates the Ziv loop only on the first.
 func CheckMini(variant, lib, name string) Result {
 	if variant == "posit16" {
 		return checkPosit16(lib, name)
@@ -298,9 +239,8 @@ func CheckMini(variant, lib, name string) Result {
 	of := OracleFunc[name]
 	workers := runtime.GOMAXPROCS(0)
 	type acc struct {
-		wrong   int
-		tested  int
-		example float64
+		tested int
+		exAcc
 	}
 	accs := make([]acc, workers)
 	var wg sync.WaitGroup
@@ -332,10 +272,7 @@ func CheckMini(variant, lib, name string) Result {
 					(f.IsNaN(got) && f.IsNaN(want)) ||
 					(f.ToFloat64(got) == 0 && f.ToFloat64(want) == 0)
 				if !same {
-					accs[w].wrong++
-					if accs[w].example == 0 {
-						accs[w].example = x
-					}
+					accs[w].note(int64(b), x)
 				}
 			}
 		}(w, lo, hi)
@@ -343,17 +280,20 @@ func CheckMini(variant, lib, name string) Result {
 	wg.Wait()
 	for _, a := range accs {
 		res.Tested += a.tested
-		res.Wrong += a.wrong
-		if res.Example == 0 {
-			res.Example = a.example
-		}
 	}
+	exs := make([]exAcc, len(accs))
+	for i, a := range accs {
+		exs[i] = a.exAcc
+	}
+	mergeExamples(&res, exs)
 	return res
 }
 
-// CheckFloat32Multi checks several libraries against one oracle pass
-// (the oracle dominates cost, so sharing it across libraries makes the
-// Table 1 harness ~5x faster than separate CheckFloat32 calls).
+// CheckFloat32Multi checks several libraries against one shared oracle
+// pass: the sample is precomputed into the oracle cache once, then
+// every per-library comparison runs on cache hits. This is what makes
+// the full Table 1 harness cost one Ziv evaluation per (func, input)
+// regardless of the number of library columns.
 func CheckFloat32Multi(libs []string, name string, xs []float32) []Result {
 	fs := make([]func(float32) float32, len(libs))
 	out := make([]Result, len(libs))
@@ -365,10 +305,10 @@ func CheckFloat32Multi(libs []string, name string, xs []float32) []Result {
 		}
 	}
 	of := OracleFunc[name]
+	oracle.PrecomputeFloat32(of, xs)
 	workers := runtime.GOMAXPROCS(0)
 	type acc struct {
-		wrong   []int
-		example []float64
+		ex []exAcc
 	}
 	accs := make([]acc, workers)
 	var wg sync.WaitGroup
@@ -384,8 +324,7 @@ func CheckFloat32Multi(libs []string, name string, xs []float32) []Result {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			accs[w].wrong = make([]int, len(libs))
-			accs[w].example = make([]float64, len(libs))
+			accs[w].ex = make([]exAcc, len(libs))
 			for _, x := range xs[lo:hi] {
 				want := oracle.Float32(of, float64(x))
 				for i, f := range fs {
@@ -393,26 +332,22 @@ func CheckFloat32Multi(libs []string, name string, xs []float32) []Result {
 						continue
 					}
 					if got := f(x); !same32(got, want) {
-						accs[w].wrong[i]++
-						if accs[w].example[i] == 0 {
-							accs[w].example[i] = float64(x)
-						}
+						accs[w].ex[i].note(int64(ord32(x)), float64(x))
 					}
 				}
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	for _, a := range accs {
-		for i := range libs {
-			if a.wrong == nil {
+	for i := range libs {
+		var exs []exAcc
+		for _, a := range accs {
+			if a.ex == nil {
 				continue
 			}
-			out[i].Wrong += a.wrong[i]
-			if out[i].Example == 0 {
-				out[i].Example = a.example[i]
-			}
+			exs = append(exs, a.ex[i])
 		}
+		mergeExamples(&out[i], exs)
 	}
 	return out
 }
@@ -434,10 +369,10 @@ func CheckPosit32Multi(libs []string, name string, ps []posit32.Posit) []Result 
 	}
 	of := OracleFunc[name]
 	tgt := interval.Posit32Target{}
+	oracle.PrecomputePosit32(of, ps)
 	workers := runtime.GOMAXPROCS(0)
 	type acc struct {
-		wrong   []int
-		example []float64
+		ex []exAcc
 	}
 	accs := make([]acc, workers)
 	var wg sync.WaitGroup
@@ -453,8 +388,7 @@ func CheckPosit32Multi(libs []string, name string, ps []posit32.Posit) []Result 
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			accs[w].wrong = make([]int, len(libs))
-			accs[w].example = make([]float64, len(libs))
+			accs[w].ex = make([]exAcc, len(libs))
 			for _, p := range ps[lo:hi] {
 				x := p.Float64()
 				if (name == "ln" || name == "log2" || name == "log10") && x <= 0 {
@@ -472,26 +406,22 @@ func CheckPosit32Multi(libs []string, name string, ps []posit32.Posit) []Result 
 						continue
 					}
 					if got := f(p); got != want {
-						accs[w].wrong[i]++
-						if accs[w].example[i] == 0 {
-							accs[w].example[i] = x
-						}
+						accs[w].ex[i].note(int64(int32(p.Bits())), x)
 					}
 				}
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	for _, a := range accs {
-		for i := range libs {
-			if a.wrong == nil {
+	for i := range libs {
+		var exs []exAcc
+		for _, a := range accs {
+			if a.ex == nil {
 				continue
 			}
-			out[i].Wrong += a.wrong[i]
-			if out[i].Example == 0 {
-				out[i].Example = a.example[i]
-			}
+			exs = append(exs, a.ex[i])
 		}
+		mergeExamples(&out[i], exs)
 	}
 	return out
 }
@@ -513,9 +443,8 @@ func checkPosit16(lib, name string) Result {
 	of := OracleFunc[name]
 	workers := runtime.GOMAXPROCS(0)
 	type acc struct {
-		wrong   int
-		tested  int
-		example float64
+		tested int
+		exAcc
 	}
 	accs := make([]acc, workers)
 	var wg sync.WaitGroup
@@ -547,10 +476,7 @@ func checkPosit16(lib, name string) Result {
 				}
 				accs[w].tested++
 				if got != want {
-					accs[w].wrong++
-					if accs[w].example == 0 {
-						accs[w].example = x
-					}
+					accs[w].note(int64(b), x)
 				}
 			}
 		}(w, lo, hi)
@@ -558,10 +484,11 @@ func checkPosit16(lib, name string) Result {
 	wg.Wait()
 	for _, a := range accs {
 		res.Tested += a.tested
-		res.Wrong += a.wrong
-		if res.Example == 0 {
-			res.Example = a.example
-		}
 	}
+	exs := make([]exAcc, len(accs))
+	for i, a := range accs {
+		exs[i] = a.exAcc
+	}
+	mergeExamples(&res, exs)
 	return res
 }

@@ -386,6 +386,10 @@ func sampleOrdinals(t interval.Target, fam rangered.Family, n int, edge int64, p
 // every input (Algorithm 1 lines 3-7 plus Algorithm 2).
 func constraintsFor(fam rangered.Family, tgt interval.Target, xs []float64, workers int) ([][]polygen.Constraint, error) {
 	nf := len(fam.Funcs())
+	// Bulk-fill the oracle cache: each (func, input) runs the Ziv loop
+	// exactly once here, and both this pass and every later outer-round
+	// revisit of the same input are cache hits.
+	oracle.PrecomputeTarget(tgt, fam.Fn(), xs)
 	type item struct {
 		ok   bool
 		r    float64
@@ -467,6 +471,10 @@ func constraintsFor(fam rangered.Family, tgt interval.Target, xs []float64, work
 // validate compares the generated implementation against the oracle on
 // xs, returning the mismatching inputs.
 func validate(res *Result, tgt interval.Target, xs []float64, workers int) ([]float64, error) {
+	// The counterexample search revisits the same validation sample
+	// every outer round: after the first round's bulk fill the oracle
+	// side of this loop is pure cache hits.
+	oracle.PrecomputeTarget(tgt, res.Fam.Fn(), xs)
 	bad := make([][]float64, workers)
 	var wg sync.WaitGroup
 	chunk := (len(xs) + workers - 1) / workers

@@ -9,11 +9,19 @@
 // ladder ends at 400 bits — the paper's own cap, justified by worst-case
 // rounding-distance results (Lefèvre-Muller) for double precision,
 // which dominate the 32-bit targets used here.
+//
+// All entry points are memoized in a concurrent sharded cache keyed by
+// (function, input bits) — see cache.go — so a harness that checks N
+// libraries against the same input sample pays for the Ziv loop once
+// per (function, input) rather than once per (function, input,
+// library). PrecomputeFloat32 and friends bulk-fill the cache in
+// parallel.
 package oracle
 
 import (
 	"math"
 	"math/big"
+	"sync"
 
 	"rlibm32/internal/bigfp"
 	"rlibm32/internal/interval"
@@ -75,11 +83,34 @@ func domainEdge(f bigfp.Func, x float64) (y float64, ok bool) {
 	return 0, false
 }
 
-// errBand widens w by bigfp's relative error bound at precision p,
-// returning lo <= f(x) <= hi.
-func errBand(w *big.Float, prec uint) (lo, hi *big.Float) {
+// zivScratch holds the big.Float temporaries of one Ziv ladder run, so
+// a full oracle evaluation performs no top-level allocations (the
+// remaining ones are internal to math/big arithmetic).
+type zivScratch struct {
+	w, e, lo, hi big.Float
+}
+
+var zivPool = sync.Pool{New: func() any { return new(zivScratch) }}
+
+// band widens w by bigfp's relative error bound at precision p,
+// leaving lo <= f(x) <= hi in the scratch fields.
+func (s *zivScratch) band(w *big.Float, prec uint) (lo, hi *big.Float) {
 	if w.Sign() == 0 {
 		// bigfp returns exact zeros only when the result is exactly zero.
+		return w, w
+	}
+	e := s.e.SetPrec(w.Prec()).Abs(w)
+	e.SetMantExp(e, -int(prec)+bigfp.ErrLog2)
+	lo = s.lo.SetPrec(w.Prec()+8).Sub(w, e)
+	hi = s.hi.SetPrec(w.Prec()+8).Add(w, e)
+	return lo, hi
+}
+
+// errBand widens w by bigfp's relative error bound at precision p,
+// returning lo <= f(x) <= hi (allocating variant, kept for the generic
+// Target fallback).
+func errBand(w *big.Float, prec uint) (lo, hi *big.Float) {
+	if w.Sign() == 0 {
 		return w, w
 	}
 	e := new(big.Float).SetPrec(w.Prec()).SetMantExp(
@@ -91,15 +122,23 @@ func errBand(w *big.Float, prec uint) (lo, hi *big.Float) {
 
 // Float32 returns the correctly rounded float32 value of f(x).
 // Out-of-domain and infinite inputs follow the IEEE conventions
-// (log of a negative is NaN, exp(-Inf) is 0, ...).
+// (log of a negative is NaN, exp(-Inf) is 0, ...). Results are
+// memoized; see cache.go.
 func Float32(f bigfp.Func, x float64) float32 {
+	return cachedFloat32(f, x)
+}
+
+// float32Uncached runs the Ziv loop directly (cache misses land here).
+func float32Uncached(f bigfp.Func, x float64) float32 {
 	if y, ok := domainEdge(f, x); ok {
 		return float32(y)
 	}
+	s := zivPool.Get().(*zivScratch)
+	defer zivPool.Put(s)
 	var last float32
 	for _, p := range precisions {
-		w := bigfp.Eval(f, x, p)
-		lo, hi := errBand(w, p)
+		w := bigfp.EvalTo(&s.w, f, x, p)
+		lo, hi := s.band(w, p)
 		a, _ := lo.Float32()
 		b, _ := hi.Float32()
 		last = a
@@ -114,15 +153,21 @@ func Float32(f bigfp.Func, x float64) float32 {
 
 // Float64 returns the correctly rounded float64 value of f(x), used
 // both for the reduced-function oracle values of Algorithm 2 and for
-// the CRDouble baseline library.
+// the CRDouble baseline library. Results are memoized.
 func Float64(f bigfp.Func, x float64) float64 {
+	return cachedFloat64(f, x)
+}
+
+func float64Uncached(f bigfp.Func, x float64) float64 {
 	if y, ok := domainEdge(f, x); ok {
 		return y
 	}
+	s := zivPool.Get().(*zivScratch)
+	defer zivPool.Put(s)
 	var last float64
 	for _, p := range precisions {
-		w := bigfp.Eval(f, x, p)
-		lo, hi := errBand(w, p)
+		w := bigfp.EvalTo(&s.w, f, x, p)
+		lo, hi := s.band(w, p)
 		a, _ := lo.Float64()
 		b, _ := hi.Float64()
 		last = a
@@ -134,14 +179,21 @@ func Float64(f bigfp.Func, x float64) float64 {
 }
 
 // Posit32 returns the correctly rounded posit32 value of f(x).
+// Results are memoized.
 func Posit32(f bigfp.Func, x float64) posit32.Posit {
+	return cachedPosit32(f, x)
+}
+
+func posit32Uncached(f bigfp.Func, x float64) posit32.Posit {
 	if y, ok := domainEdge(f, x); ok {
 		return posit32.FromFloat64(y) // NaN and ±Inf map to NaR
 	}
+	s := zivPool.Get().(*zivScratch)
+	defer zivPool.Put(s)
 	var last posit32.Posit
 	for _, p := range precisions {
-		w := bigfp.Eval(f, x, p)
-		lo, hi := errBand(w, p)
+		w := bigfp.EvalTo(&s.w, f, x, p)
+		lo, hi := s.band(w, p)
 		a := posit32.RoundBig(lo)
 		b := posit32.RoundBig(hi)
 		last = a
@@ -154,7 +206,9 @@ func Posit32(f bigfp.Func, x float64) posit32.Posit {
 
 // Target returns RN_T(f(x)) as the exact double embedding for the given
 // target, plus ok=false when the result is not a real (never happens
-// for the supported functions on in-domain inputs).
+// for the supported functions on in-domain inputs). The two 32-bit
+// targets dispatch to the memoized Float32/Posit32 oracles; other
+// targets are memoized per target name.
 func Target(t interval.Target, f bigfp.Func, x float64) (float64, bool) {
 	switch t.(type) {
 	case interval.Float32Target:
@@ -167,7 +221,12 @@ func Target(t interval.Target, f bigfp.Func, x float64) (float64, bool) {
 		}
 		return p.Float64(), true
 	}
-	// Generic fallback through RoundBig (exercised by custom targets).
+	return cachedTarget(t, f, x)
+}
+
+// targetUncached is the generic fallback through RoundBig (exercised by
+// the 16-bit targets and custom targets).
+func targetUncached(t interval.Target, f bigfp.Func, x float64) (float64, bool) {
 	if y, ok := domainEdge(f, x); ok {
 		switch {
 		case math.IsNaN(y):

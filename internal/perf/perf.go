@@ -134,6 +134,56 @@ func MeasurePosit(f func(posit32.Posit) posit32.Posit, ps []posit32.Posit, reps 
 	return best
 }
 
+// MeasureFloat32Batch returns the average ns/element of the batch
+// kernel f over xs with reps repetitions (minimum of 3 timing passes).
+func MeasureFloat32Batch(f func(dst, xs []float32), xs []float32, reps int) float64 {
+	dst := make([]float32, len(xs))
+	best := math.Inf(1)
+	for pass := 0; pass < 3; pass++ {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			f(dst, xs)
+		}
+		el := time.Since(start).Seconds() * 1e9 / float64(reps*len(xs))
+		sink = dst[0]
+		if el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+// BatchSpeedup is one row of the batch-vs-scalar comparison (§4.3):
+// the per-element cost of the scalar entry point against the
+// devirtualized slice kernel over the same input array.
+type BatchSpeedup struct {
+	Func     string
+	ScalarNs float64
+	BatchNs  float64
+}
+
+// Factor returns ScalarNs / BatchNs (>1 means the batch kernel wins).
+func (s BatchSpeedup) Factor() float64 { return s.ScalarNs / s.BatchNs }
+
+// CompareBatch measures the scalar function against EvalSlice-style
+// batch evaluation for one function over an n-element array.
+func CompareBatch(name string, n, reps int) (BatchSpeedup, bool) {
+	sf, ok := rlibm.Func(name)
+	if !ok {
+		return BatchSpeedup{}, false
+	}
+	bf, ok := rlibm.FuncSlice(name)
+	if !ok {
+		return BatchSpeedup{}, false
+	}
+	xs := Float32Inputs(name, n)
+	return BatchSpeedup{
+		Func:     name,
+		ScalarNs: MeasureFloat32(sf, xs, reps),
+		BatchNs:  MeasureFloat32Batch(bf, xs, reps),
+	}, true
+}
+
 // Speedup is one bar of Figure 3/4: baseline time over rlibm time.
 type Speedup struct {
 	Func    string

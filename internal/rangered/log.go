@@ -72,19 +72,78 @@ func (f *LogFamily) Special(x float64) (float64, bool) {
 	return 0, false
 }
 
+// Ordinary reports whether x takes the polynomial path (the exact
+// complement of Special, small enough to inline into batch loops; NaN
+// fails both comparisons).
+func (f *LogFamily) Ordinary(x float64) bool {
+	return x > 0 && x < math.Inf(1)
+}
+
 // Reduce implements Family.
 func (f *LogFamily) Reduce(x float64) (float64, Ctx) {
-	fr, e := math.Frexp(x) // x = fr·2^e, fr ∈ [0.5, 1)
-	mhat := 2 * fr         // exact
-	ep := e - 1
-	scale := float64(int(1) << f.TabBits)
-	j := int((mhat - 1) * scale) // exact: (m̂−1) by Sterbenz, ·2^k by scaling
-	F := 1 + float64(j)/scale    // exact (j/2^k is dyadic)
-	r := (mhat - F) / F          // numerator exact; one rounding in the divide
+	// Frexp by bit extraction: positive normal doubles (every float32
+	// or posit magnitude embeds as one) decompose exactly as
+	// m̂ = 1.frac ∈ [1, 2), e' = biased − 1023. The math.Frexp call
+	// remains only for double subnormals, which no 32-bit target input
+	// produces.
+	b := math.Float64bits(x)
+	var mhat float64
+	var ep int
+	if be := int(b >> 52 & 0x7ff); be != 0 {
+		mhat = math.Float64frombits(b&(1<<52-1) | 0x3ff<<52)
+		ep = be - 1023
+	} else {
+		fr, e := math.Frexp(x)
+		mhat = 2 * fr
+		ep = e - 1
+	}
+	tb := uint(f.TabBits)
+	scale := float64(int(1) << tb)
+	invScale := math.Float64frombits(uint64(1023-tb) << 52) // exact 2^−TabBits
+	j := int((mhat - 1) * scale)                            // exact: (m̂−1) by Sterbenz, ·2^k by scaling
+	F := 1 + float64(j)*invScale                            // exact (j/2^k is dyadic; ·2^−k ≡ /2^k)
+	r := (mhat - F) / F                                     // numerator exact; one rounding in the divide
 	// A = e'·log_b2 + log_b(F): two double roundings, identical at
 	// generation and runtime.
 	a := float64(ep)*f.Scale + f.FTab[j]
 	return r, Ctx{A: a, S: 1}
+}
+
+// ReduceSlice is the batch form of Special+Reduce for one chunk: each
+// ordinary xs[j] gets rs[j] = r, as[j] = A and sp[j] = false; each
+// special input gets sp[j] = true, rs[j] = 0 and as[j] = its final
+// result. The loop body repeats Reduce's exact operation sequence
+// (keep the two in sync — every step is shared verbatim with the
+// generator) with the table parameters hoisted out of the loop, so the
+// per-element work is call-free and pipelines across elements.
+func (f *LogFamily) ReduceSlice(rs, as []float64, sp []bool, xs []float64) {
+	tb := uint(f.TabBits)
+	scale := float64(int(1) << tb)
+	invScale := math.Float64frombits(uint64(1023-tb) << 52)
+	lb2 := f.Scale
+	ftab := f.FTab
+	inf := math.Inf(1)
+	for i, x := range xs {
+		if !(x > 0 && x < inf) {
+			y, _ := f.Special(x)
+			sp[i], rs[i], as[i] = true, 0, y
+			continue
+		}
+		b := math.Float64bits(x)
+		var mhat float64
+		var ep int
+		if be := int(b >> 52 & 0x7ff); be != 0 {
+			mhat = math.Float64frombits(b&(1<<52-1) | 0x3ff<<52)
+			ep = be - 1023
+		} else {
+			fr, e := math.Frexp(x)
+			mhat = 2 * fr
+			ep = e - 1
+		}
+		j := int((mhat - 1) * scale)
+		F := 1 + float64(j)*invScale
+		sp[i], rs[i], as[i] = false, (mhat-F)/F, float64(ep)*lb2+ftab[j]
+	}
 }
 
 // OC implements Family: log_b(x) = A + log_b(1+r).

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"rlibm32/internal/checks"
+	"rlibm32/internal/perf"
 	"rlibm32/posit32"
 	"rlibm32/posit32/positmath"
 )
@@ -99,5 +100,51 @@ func TestExpLogRoundTrip(t *testing.T) {
 		if drift < -64 || drift > 64 {
 			t.Fatalf("exp(log(%#x)) = %#x drifted %d steps", p, q, drift)
 		}
+	}
+}
+
+// TestSliceAgreesWithScalar mirrors the float32 batch contract for the
+// posit library: slice results are bit-identical to the scalar wrappers,
+// including NaR propagation and saturation endpoints.
+func TestSliceAgreesWithScalar(t *testing.T) {
+	specials := []posit32.Posit{
+		posit32.NaR, posit32.Zero, posit32.One, posit32.One.Neg(),
+		posit32.MaxPos, posit32.MinPos, posit32.MaxPos.Neg(), posit32.MinPos.Neg(),
+		posit32.FromFloat64(100), posit32.FromFloat64(-100),
+	}
+	for _, name := range positmath.Names() {
+		sf, _ := positmath.Func(name)
+		bf, ok := positmath.FuncSlice(name)
+		if !ok {
+			t.Fatalf("FuncSlice(%q) missing", name)
+		}
+		// Span more than one sliceChunk so the chunk loop is exercised.
+		ps := append(perf.PositInputs(name, 1000), specials...)
+		dst := make([]posit32.Posit, len(ps))
+		bf(dst, ps)
+		for i, p := range ps {
+			if want := sf(p); dst[i] != want {
+				t.Fatalf("%s slice(%#x) = %#x, scalar = %#x", name, p.Bits(), dst[i].Bits(), want.Bits())
+			}
+		}
+		dst2 := make([]posit32.Posit, len(ps))
+		if err := positmath.EvalSlice(name, dst2, ps); err != nil {
+			t.Fatalf("EvalSlice(%q): %v", name, err)
+		}
+		for i := range dst2 {
+			if dst2[i] != dst[i] {
+				t.Fatalf("%s EvalSlice diverges at index %d", name, i)
+			}
+		}
+	}
+}
+
+func TestEvalSliceErrors(t *testing.T) {
+	ps := []posit32.Posit{posit32.One, posit32.Zero}
+	if err := positmath.EvalSlice("nope", make([]posit32.Posit, 2), ps); err != positmath.ErrUnknownFunc {
+		t.Errorf("unknown name: err = %v", err)
+	}
+	if err := positmath.EvalSlice("exp", make([]posit32.Posit, 1), ps); err != positmath.ErrShortDst {
+		t.Errorf("short dst: err = %v", err)
 	}
 }

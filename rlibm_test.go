@@ -8,6 +8,7 @@ import (
 	rlibm "rlibm32"
 	"rlibm32/internal/checks"
 	"rlibm32/internal/oracle"
+	"rlibm32/internal/perf"
 )
 
 // TestAllFunctionsCorrectlyRounded is the library's headline claim
@@ -202,5 +203,74 @@ func TestFuncLookup(t *testing.T) {
 	}
 	if len(rlibm.Names()) != 10 {
 		t.Errorf("Names() = %v", rlibm.Names())
+	}
+}
+
+// TestSliceAgreesWithScalar is the batch-kernel contract: every XxxSlice
+// and EvalSlice result is bit-identical to the scalar function, across
+// domain-spanning samples plus the special values (±0, ±Inf, NaN,
+// subnormals, overflow edges) where the devirtualized path shortcuts.
+func TestSliceAgreesWithScalar(t *testing.T) {
+	specials := []float32{
+		0, float32(math.Copysign(0, -1)),
+		float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
+		1, -1, 0.5, -0.5,
+		0x1p-149, -0x1p-149, 0x1p-126, 0x1p-127,
+		math.MaxFloat32, -math.MaxFloat32,
+		88.8, -88.8, 128.5, -150, 0x1p23 + 1, 0x1p24,
+	}
+	for _, name := range rlibm.Names() {
+		sf, _ := rlibm.Func(name)
+		bf, ok := rlibm.FuncSlice(name)
+		if !ok {
+			t.Fatalf("FuncSlice(%q) missing", name)
+		}
+		xs := append(perf.Float32Inputs(name, 4096), specials...)
+		dst := make([]float32, len(xs))
+		bf(dst, xs)
+		for i, x := range xs {
+			want := sf(x)
+			if math.Float32bits(dst[i]) != math.Float32bits(want) {
+				t.Fatalf("%s slice(%v) = %b, scalar = %b", name, x, dst[i], want)
+			}
+		}
+		// EvalSlice takes the same devirtualized path.
+		dst2 := make([]float32, len(xs))
+		if err := rlibm.EvalSlice(name, dst2, xs); err != nil {
+			t.Fatalf("EvalSlice(%q): %v", name, err)
+		}
+		for i := range dst2 {
+			if math.Float32bits(dst2[i]) != math.Float32bits(dst[i]) {
+				t.Fatalf("%s EvalSlice diverges at %v", name, xs[i])
+			}
+		}
+	}
+}
+
+// TestSliceInPlace checks the documented aliasing guarantee: dst and xs
+// may be the same slice.
+func TestSliceInPlace(t *testing.T) {
+	xs := perf.Float32Inputs("exp", 512)
+	want := make([]float32, len(xs))
+	rlibm.ExpSlice(want, xs)
+	buf := append([]float32(nil), xs...)
+	rlibm.ExpSlice(buf, buf)
+	for i := range buf {
+		if math.Float32bits(buf[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("in-place ExpSlice diverges at index %d", i)
+		}
+	}
+}
+
+func TestEvalSliceErrors(t *testing.T) {
+	xs := []float32{1, 2, 3}
+	if err := rlibm.EvalSlice("nope", make([]float32, 3), xs); err != rlibm.ErrUnknownFunc {
+		t.Errorf("unknown name: err = %v", err)
+	}
+	if err := rlibm.EvalSlice("exp", make([]float32, 2), xs); err != rlibm.ErrShortDst {
+		t.Errorf("short dst: err = %v", err)
+	}
+	if _, ok := rlibm.FuncSlice("nope"); ok {
+		t.Error("FuncSlice(nope) should be absent")
 	}
 }
