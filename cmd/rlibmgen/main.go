@@ -12,15 +12,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"rlibm32/internal/checks"
 	"rlibm32/internal/gentool"
+	"rlibm32/internal/libm"
 	"rlibm32/internal/rangered"
 )
 
@@ -31,6 +35,7 @@ func main() {
 	validateN := flag.Int("validate", 0, "validation sample size (default 2x inputs)")
 	out := flag.String("out", "internal/libm", "output directory for generated Go files")
 	stats := flag.Bool("stats", false, "print the Table 3 style generation report")
+	extra := flag.String("extra", "", "file of extra input bit patterns to constrain on (one 0x%08x float32 pattern per line, e.g. a rlibmverify -dump file)")
 	flag.Parse()
 
 	var variants []rangered.Variant
@@ -52,6 +57,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	var extraBits []uint32
+	if *extra != "" {
+		var err error
+		extraBits, err = readExtraBits(*extra)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlibmgen: -extra: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "constraining on %d extra inputs from %s\n", len(extraBits), *extra)
+	}
+
 	var allStats []gentool.Stats
 	for _, v := range variants {
 		names := rangered.Names(v)
@@ -70,6 +86,14 @@ func main() {
 		case rangered.VFloat32:
 			for _, x := range checks.SampleFloat32(400000) {
 				cfg.ExtraInputs = append(cfg.ExtraInputs, float64(x))
+			}
+			// Counterexamples fed back from the exhaustive sweep
+			// (rlibmverify -dump): constraining on them closes the
+			// paper's counterexample-guided loop at 2^32 scale.
+			for _, b := range extraBits {
+				if x := math.Float32frombits(b); x == x {
+					cfg.ExtraInputs = append(cfg.ExtraInputs, float64(x))
+				}
 			}
 		case rangered.VPosit32:
 			for _, p := range checks.SamplePosit32(400000) {
@@ -101,6 +125,20 @@ func main() {
 		}
 	}
 	if *fn == "" {
+		// Merge with the stats of variants not regenerated this run, so
+		// a single-variant invocation does not clobber the others.
+		regenerated := make(map[string]bool, len(variants))
+		for _, v := range variants {
+			regenerated[v.String()] = true
+		}
+		var prev []gentool.Stats
+		if err := json.Unmarshal([]byte(libm.GenStatsJSON), &prev); err == nil {
+			for _, s := range prev {
+				if !regenerated[s.Variant] {
+					allStats = append(allStats, s)
+				}
+			}
+		}
 		path := filepath.Join(*out, "zgen_stats.go")
 		if err := os.WriteFile(path, []byte(gentool.EmitStats(allStats)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -110,6 +148,28 @@ func main() {
 	if *stats {
 		printStats(allStats)
 	}
+}
+
+// readExtraBits parses a -dump style file: one float32 bit pattern per
+// line in 0x%08x form, '#' comments and blank lines ignored.
+func readExtraBits(path string) ([]uint32, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bits []uint32
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b, err := strconv.ParseUint(line, 0, 32)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		bits = append(bits, uint32(b))
+	}
+	return bits, nil
 }
 
 func printStats(all []gentool.Stats) {

@@ -17,6 +17,7 @@ import (
 
 	"rlibm32/internal/baselines"
 	"rlibm32/internal/bigfp"
+	"rlibm32/internal/fp"
 	"rlibm32/internal/interval"
 	"rlibm32/internal/libm"
 	"rlibm32/internal/minifloat"
@@ -94,14 +95,14 @@ func SampleFloat32(n int) []float32 {
 		if _, dup := seen[o]; dup {
 			return
 		}
-		v := fromOrd32(o)
+		v := fp.FromOrderedInt32(o)
 		if v != v { // NaN block
 			return
 		}
 		seen[o] = struct{}{}
 		xs = append(xs, v)
 	}
-	lo, hi := ord32(float32(math.Inf(-1)))+1, ord32(float32(math.Inf(1)))-1
+	lo, hi := fp.OrderedInt32(float32(math.Inf(-1)))+1, fp.OrderedInt32(float32(math.Inf(1)))-1
 	span := int64(hi) - int64(lo)
 	stride := span / int64(n)
 	if stride < 1 {
@@ -113,7 +114,7 @@ func SampleFloat32(n int) []float32 {
 	// Boundary windows: around ±2^k for every exponent, and around 0.
 	for e := -149; e <= 127; e++ {
 		for _, s := range [2]float32{1, -1} {
-			b := ord32(s * float32(math.Ldexp(1, e)))
+			b := fp.OrderedInt32(s * float32(math.Ldexp(1, e)))
 			for d := int32(-8); d <= 8; d++ {
 				add(b + d)
 			}
@@ -153,21 +154,6 @@ func SamplePosit32(n int) []posit32.Posit {
 	return ps
 }
 
-func ord32(f float32) int32 {
-	b := int32(math.Float32bits(f))
-	if b < 0 {
-		b = int32(-0x80000000) - b
-	}
-	return b
-}
-
-func fromOrd32(i int32) float32 {
-	if i < 0 {
-		i = int32(-0x80000000) - i
-	}
-	return math.Float32frombits(uint32(i))
-}
-
 // implOverride lets tests inject synthetic float32 libraries (to
 // exercise the accumulator edge cases no real library hits).
 var implOverride func(lib, name string) func(float32) float32
@@ -193,12 +179,8 @@ func CheckFloat32(lib, name string, xs []float32) Result {
 	return CheckFloat32Multi([]string{lib}, name, xs)[0]
 }
 
-func same32(a, b float32) bool {
-	if a != a && b != b {
-		return true
-	}
-	return a == b
-}
+// same32 is the shared result-agreement predicate (see fp.Same32).
+func same32(a, b float32) bool { return fp.Same32(a, b) }
 
 // CheckPosit32 produces one Table 2 cell.
 func CheckPosit32(lib, name string, ps []posit32.Posit) Result {
@@ -332,7 +314,7 @@ func CheckFloat32Multi(libs []string, name string, xs []float32) []Result {
 						continue
 					}
 					if got := f(x); !same32(got, want) {
-						accs[w].ex[i].note(int64(ord32(x)), float64(x))
+						accs[w].ex[i].note(int64(fp.OrderedInt32(x)), float64(x))
 					}
 				}
 			}

@@ -14,15 +14,19 @@ func TestSampleFloat32Properties(t *testing.T) {
 	if len(xs) < 50000 {
 		t.Fatalf("sample too small: %d", len(xs))
 	}
+	// Dedup by bit pattern: -0 and +0 are distinct inputs (the ordinal
+	// mapping keeps them one rank apart) but compare equal as floats.
+	seenBits := map[uint32]struct{}{}
 	seen := map[float32]struct{}{}
 	negatives, positives := 0, 0
 	for _, x := range xs {
 		if x != x {
 			t.Fatal("NaN in sample")
 		}
-		if _, dup := seen[x]; dup {
-			t.Fatalf("duplicate %v", x)
+		if _, dup := seenBits[math.Float32bits(x)]; dup {
+			t.Fatalf("duplicate %v (bits %#08x)", x, math.Float32bits(x))
 		}
+		seenBits[math.Float32bits(x)] = struct{}{}
 		seen[x] = struct{}{}
 		if x < 0 {
 			negatives++

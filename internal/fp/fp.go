@@ -114,6 +114,35 @@ func FromOrderedInt32(i int32) float32 {
 	return math.Float32frombits(uint32(i))
 }
 
+// Ord32 maps a float32 to its unsigned rank in the sweep order used by
+// the exhaustive verifier: a bijection on all 2^32 bit patterns that is
+// monotonically increasing on non-NaN values, with negative-sign NaN
+// payloads ranked below -Inf and positive-sign NaN payloads above
+// +Inf. -0 ranks one below +0 (rank 0x7FFFFFFF vs 0x80000000), so
+// Ord32(f) == uint32(OrderedInt32(f)) + 1<<31 for every pattern.
+// FromOrd32 is the exact inverse.
+func Ord32(f float32) uint32 { return OrdBits32(math.Float32bits(f)) }
+
+// FromOrd32 is the inverse of Ord32.
+func FromOrd32(o uint32) float32 { return math.Float32frombits(FromOrdBits32(o)) }
+
+// OrdBits32 is Ord32 on a raw bit pattern (no float conversion), usable
+// on NaN payloads without quieting.
+func OrdBits32(b uint32) uint32 {
+	if b>>31 == 1 {
+		return ^b
+	}
+	return b + 0x80000000
+}
+
+// FromOrdBits32 is the inverse of OrdBits32.
+func FromOrdBits32(o uint32) uint32 {
+	if o >= 0x80000000 {
+		return o - 0x80000000
+	}
+	return ^o
+}
+
 // NextUp32 returns the least float32 greater than f, with IEEE nextUp
 // semantics at zero and infinity.
 func NextUp32(f float32) float32 {
@@ -139,6 +168,16 @@ func NextDown32(f float32) float32 {
 
 // IsNaN32 reports whether f is a NaN.
 func IsNaN32(f float32) bool { return f != f }
+
+// Same32 reports whether two float32 results agree for correctness
+// harness purposes: equal values, or both NaN (any payloads). Note +0
+// and -0 compare equal, matching the harness convention.
+func Same32(a, b float32) bool {
+	if a != a && b != b {
+		return true
+	}
+	return a == b
+}
 
 // IsInf32 reports whether f is an infinity (either sign when sign==0,
 // or the given sign).

@@ -1,0 +1,95 @@
+package fp
+
+import (
+	"math"
+	"testing"
+)
+
+// boundaryBits are the float32 bit patterns at representation
+// boundaries: signed zeros, the denormal range edges, the normal range
+// edges, infinities, and NaNs with extremal and mid payloads.
+var boundaryBits = []uint32{
+	0x00000000, // +0
+	0x80000000, // -0
+	0x00000001, // smallest +denormal
+	0x80000001, // smallest -denormal
+	0x007FFFFF, // largest +denormal
+	0x807FFFFF, // largest -denormal
+	0x00800000, // smallest +normal
+	0x80800000, // smallest -normal
+	0x7F7FFFFF, // +MaxFloat32
+	0xFF7FFFFF, // -MaxFloat32
+	0x7F800000, // +Inf
+	0xFF800000, // -Inf
+	0x7F800001, // +NaN, smallest payload
+	0xFF800001, // -NaN, smallest payload
+	0x7FC00000, // +NaN, quiet bit only
+	0xFFC00000, // -NaN, quiet bit only
+	0x7FFFFFFF, // +NaN, full payload
+	0xFFFFFFFF, // -NaN, full payload
+	0x7FABCDEF, // +NaN, arbitrary payload
+	0xFFABCDEF, // -NaN, arbitrary payload
+}
+
+// TestOrdBits32RoundTrip checks the rank mapping is its own inverse on
+// every boundary pattern and on the neighbours of each (the bit level
+// covers NaN payloads exactly, with no float load/store in between).
+func TestOrdBits32RoundTrip(t *testing.T) {
+	for _, b := range boundaryBits {
+		for _, d := range []uint32{0, 1, ^uint32(0)} {
+			bb := b + d
+			o := OrdBits32(bb)
+			if got := FromOrdBits32(o); got != bb {
+				t.Errorf("FromOrdBits32(OrdBits32(%#08x)) = %#08x", bb, got)
+			}
+		}
+	}
+}
+
+// TestOrdBits32Bijection checks injectivity over a stride sample of the
+// whole 2^32 space plus that every rank in a window inverts correctly.
+func TestOrdBits32Bijection(t *testing.T) {
+	for o := uint32(0); o < 1<<16; o++ {
+		for _, base := range []uint32{0, 0x7FFF0000, 0x80000000, 0xFFFF0000} {
+			r := base + o
+			if got := OrdBits32(FromOrdBits32(r)); got != r {
+				t.Fatalf("OrdBits32(FromOrdBits32(%#08x)) = %#08x", r, got)
+			}
+		}
+	}
+}
+
+// TestOrd32Monotone checks the rank order agrees with < on non-NaN
+// values, and that NaN blocks sit strictly outside the ordered range.
+func TestOrd32Monotone(t *testing.T) {
+	vals := []float32{
+		float32(math.Inf(-1)), -math.MaxFloat32, -1, -math.SmallestNonzeroFloat32,
+		math.Float32frombits(0x80000000), // -0
+		0, math.SmallestNonzeroFloat32, 1, math.MaxFloat32, float32(math.Inf(1)),
+	}
+	for i := 1; i < len(vals); i++ {
+		if Ord32(vals[i-1]) >= Ord32(vals[i]) {
+			t.Errorf("Ord32 not monotone at %v (%#08x) -> %v (%#08x)",
+				vals[i-1], Ord32(vals[i-1]), vals[i], Ord32(vals[i]))
+		}
+	}
+	negInf, posInf := Ord32(float32(math.Inf(-1))), Ord32(float32(math.Inf(1)))
+	if o := OrdBits32(0xFFFFFFFF); o >= negInf {
+		t.Errorf("negative NaN rank %#08x not below -Inf rank %#08x", o, negInf)
+	}
+	if o := OrdBits32(0x7F800001); o <= posInf {
+		t.Errorf("positive NaN rank %#08x not above +Inf rank %#08x", o, posInf)
+	}
+}
+
+// TestOrd32MatchesOrderedInt32 pins the documented relationship between
+// the unsigned rank and the signed ordinal on all boundary patterns.
+func TestOrd32MatchesOrderedInt32(t *testing.T) {
+	for _, b := range boundaryBits {
+		f := math.Float32frombits(b)
+		want := uint32(OrderedInt32(f)) + 1<<31
+		if got := OrdBits32(b); got != want {
+			t.Errorf("OrdBits32(%#08x) = %#08x, want OrderedInt32+2^31 = %#08x", b, got, want)
+		}
+	}
+}

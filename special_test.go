@@ -1,0 +1,266 @@
+package rlibm32_test
+
+import (
+	"math"
+	"testing"
+
+	rlibm "rlibm32"
+	"rlibm32/internal/fp"
+)
+
+// anyNaN marks table entries whose expected result is a NaN of any
+// payload (the library guarantees NaN-ness, not a payload).
+const anyNaN = 0x7FC00000
+
+const (
+	posZero  = 0x00000000
+	negZero  = 0x80000000
+	posInf   = 0x7F800000
+	negInf   = 0xFF800000
+	one      = 0x3F800000
+	negOne   = 0xBF800000
+	minSub   = 0x00000001 // 2^-149, smallest positive denormal
+	maxSub   = 0x007FFFFF // largest denormal
+	minNorm  = 0x00800000 // 2^-126, smallest normal
+	maxFin   = 0x7F7FFFFF // MaxFloat32
+	nanQuiet = 0x7FC00000
+	nanPay   = 0x7FABCDEF // NaN with a non-default payload
+	nanNeg   = 0xFFC00001 // negative-sign NaN
+)
+
+// specialTable pins the IEEE-754 special-value behaviour of all ten
+// functions as exact output bit patterns: NaN propagation, ±Inf,
+// signed zeros, denormal edges, domain edges (log of zero and of
+// negatives), and overflow/underflow saturation. Each case is checked
+// on the scalar entry point and, via TestSpecialValuesSliceParity, on
+// the batch kernels.
+var specialTable = []struct {
+	fn   string
+	in   uint32
+	want uint32 // exact result bits; anyNaN accepts any NaN payload
+}{
+	// ln: log(±0) = -Inf, log(x<0) = NaN, log(1) = +0, log(+Inf) = +Inf.
+	{"ln", posZero, negInf},
+	{"ln", negZero, negInf},
+	{"ln", one, posZero},
+	{"ln", negOne, anyNaN},
+	{"ln", posInf, posInf},
+	{"ln", negInf, anyNaN},
+	{"ln", 0x80000001, anyNaN}, // smallest negative denormal
+	{"ln", nanPay, anyNaN},
+
+	// log2: exact on powers of two down to the denormal floor.
+	{"log2", posZero, negInf},
+	{"log2", negZero, negInf},
+	{"log2", minSub, 0xC3150000},     // log2(2^-149) = -149
+	{"log2", minNorm, 0xC2FC0000},    // log2(2^-126) = -126
+	{"log2", 0x41000000, 0x40400000}, // log2(8) = 3
+	{"log2", negOne, anyNaN},
+	{"log2", posInf, posInf},
+	{"log2", nanNeg, anyNaN},
+
+	// log10: same edge structure.
+	{"log10", posZero, negInf},
+	{"log10", negZero, negInf},
+	{"log10", 0x447A0000, 0x40400000}, // log10(1000) = 3
+	{"log10", negOne, anyNaN},
+	{"log10", posInf, posInf},
+	{"log10", nanQuiet, anyNaN},
+
+	// exp: exp(±0) = 1 exactly, saturates to +Inf/+0 outside
+	// [-103.97, 88.73], exp(-Inf) = +0.
+	{"exp", posZero, one},
+	{"exp", negZero, one},
+	{"exp", posInf, posInf},
+	{"exp", negInf, posZero},
+	{"exp", 0x42B80000, posInf},  // exp(92) overflows
+	{"exp", 0xC2D20000, posZero}, // exp(-105) underflows to +0
+	{"exp", nanPay, anyNaN},
+
+	// exp2: exact powers of two; thresholds at 128 and -150.
+	{"exp2", posZero, one},
+	{"exp2", negZero, one},
+	{"exp2", 0x41200000, 0x44800000}, // exp2(10) = 1024
+	{"exp2", 0xC3160000, posZero},    // exp2(-150) = 2^-150, a tie: even-rounds to +0
+	{"exp2", 0x43000000, posInf},     // exp2(128) overflows
+	{"exp2", 0xC31C0000, posZero},    // exp2(-156) underflows
+	{"exp2", negInf, posZero},
+	{"exp2", posInf, posInf},
+	{"exp2", nanNeg, anyNaN},
+
+	// exp10: decade exactness and saturation.
+	{"exp10", posZero, one},
+	{"exp10", negZero, one},
+	{"exp10", 0x40000000, 0x42C80000}, // exp10(2) = 100
+	{"exp10", 0x42200000, posInf},     // exp10(40) overflows
+	{"exp10", 0xC2400000, posZero},    // exp10(-48) underflows
+	{"exp10", negInf, posZero},
+	{"exp10", posInf, posInf},
+	{"exp10", nanQuiet, anyNaN},
+
+	// sinh: odd, sign-of-zero preserving, saturating.
+	{"sinh", posZero, posZero},
+	{"sinh", negZero, negZero},
+	{"sinh", posInf, posInf},
+	{"sinh", negInf, negInf},
+	{"sinh", 0x42B80000, posInf}, // sinh(92) overflows
+	{"sinh", 0xC2B80000, negInf},
+	{"sinh", nanPay, anyNaN},
+
+	// cosh: even, cosh(±0) = 1, saturates to +Inf both sides.
+	{"cosh", posZero, one},
+	{"cosh", negZero, one},
+	{"cosh", posInf, posInf},
+	{"cosh", negInf, posInf},
+	{"cosh", 0xC2B80000, posInf},
+	{"cosh", nanNeg, anyNaN},
+
+	// sinpi: IEEE sinPi zero conventions — sinPi(±0) = ±0, sinPi(+n)
+	// is +0 for even and -0 for odd positive integers (mirrored by
+	// oddness), NaN at ±Inf.
+	{"sinpi", posZero, posZero},
+	{"sinpi", negZero, negZero},
+	{"sinpi", one, negZero},        // sinpi(1) = -0
+	{"sinpi", negOne, posZero},     // sinpi(-1) = +0
+	{"sinpi", 0x4B800000, posZero}, // sinpi(2^24), even integer
+	{"sinpi", 0x3F000000, one},     // sinpi(0.5) = 1
+	{"sinpi", 0xBF000000, negOne},
+	{"sinpi", posInf, anyNaN},
+	{"sinpi", negInf, anyNaN},
+	{"sinpi", nanPay, anyNaN},
+
+	// cospi: even, cosPi(±0) = 1, exact ±1 at integers, NaN at ±Inf.
+	{"cospi", posZero, one},
+	{"cospi", negZero, one},
+	{"cospi", one, negOne},
+	{"cospi", negOne, negOne},
+	{"cospi", 0x3F000000, posZero}, // cospi(0.5) = +0
+	{"cospi", 0x4B000001, negOne},  // cospi(2^23+1), odd integer
+	{"cospi", 0x4B800000, one},     // cospi(2^24), even integer
+	{"cospi", posInf, anyNaN},
+	{"cospi", negInf, anyNaN},
+	{"cospi", nanNeg, anyNaN},
+}
+
+func checkSpecial(t *testing.T, fn string, in, got, want uint32, via string) {
+	t.Helper()
+	if want == anyNaN {
+		g := math.Float32frombits(got)
+		if g == g {
+			t.Errorf("%s(%#08x) via %s = %#08x, want NaN", fn, in, via, got)
+		}
+		return
+	}
+	if got != want {
+		t.Errorf("%s(%#08x) via %s = %#08x, want %#08x", fn, in, via, got, want)
+	}
+}
+
+// TestSpecialValuesTable checks the scalar entry points against the
+// exact-bits table.
+func TestSpecialValuesTable(t *testing.T) {
+	for _, c := range specialTable {
+		f, ok := rlibm.Func(c.fn)
+		if !ok {
+			t.Fatalf("Func(%q) missing", c.fn)
+		}
+		got := math.Float32bits(f(math.Float32frombits(c.in)))
+		checkSpecial(t, c.fn, c.in, got, c.want, "scalar")
+	}
+}
+
+// TestSpecialValuesSliceParity re-runs the table through the batch
+// kernels, each special embedded in a window of ordinary neighbours, so
+// a vectorized special-case shortcut that diverges from the scalar path
+// cannot hide.
+func TestSpecialValuesSliceParity(t *testing.T) {
+	for _, c := range specialTable {
+		slice, ok := rlibm.FuncSlice(c.fn)
+		if !ok {
+			t.Fatalf("FuncSlice(%q) missing", c.fn)
+		}
+		x := math.Float32frombits(c.in)
+		xs := []float32{0.5, 1.25, x, 2.75, -0.5}
+		dst := make([]float32, len(xs))
+		slice(dst, xs)
+		checkSpecial(t, c.fn, c.in, math.Float32bits(dst[2]), c.want, "slice")
+
+		// Single-element batch through the name-dispatch path.
+		var one [1]float32
+		if err := rlibm.EvalSlice(c.fn, one[:], []float32{x}); err != nil {
+			t.Fatalf("EvalSlice(%q): %v", c.fn, err)
+		}
+		checkSpecial(t, c.fn, c.in, math.Float32bits(one[0]), c.want, "EvalSlice")
+	}
+}
+
+// TestDenormalEdgeNeighbourhoods walks every function over the
+// denormal/normal boundary and the extremes of the finite range,
+// asserting scalar/slice bitwise parity (values themselves are covered
+// by the oracle tests; parity is the contract here).
+func TestDenormalEdgeNeighbourhoods(t *testing.T) {
+	var edges []float32
+	for _, b := range []uint32{minSub, maxSub, minNorm, maxFin} {
+		for _, s := range []uint32{0, 0x80000000} {
+			x := math.Float32frombits(b | s)
+			edges = append(edges, fp.NextDown32(x), x, fp.NextUp32(x))
+		}
+	}
+	for _, name := range rlibm.Names() {
+		f, _ := rlibm.Func(name)
+		slice, _ := rlibm.FuncSlice(name)
+		dst := make([]float32, len(edges))
+		slice(dst, edges)
+		for i, x := range edges {
+			want := f(x)
+			if math.Float32bits(dst[i]) != math.Float32bits(want) {
+				t.Errorf("%s(%#08x): slice %#08x != scalar %#08x", name,
+					math.Float32bits(x), math.Float32bits(dst[i]), math.Float32bits(want))
+			}
+		}
+	}
+}
+
+// FuzzEvalSliceAgreement fuzzes the batch-kernel contract: for any
+// input bit pattern and any function, the slice kernels produce results
+// bit-identical to the scalar entry point — including NaN payloads,
+// signed zeros, and saturated infinities.
+func FuzzEvalSliceAgreement(f *testing.F) {
+	names := rlibm.Names()
+	seeds := []uint32{
+		posZero, negZero, minSub, maxSub, minNorm, maxFin,
+		posInf, negInf, nanQuiet, nanPay, nanNeg,
+		one, negOne, 0x42B17218, 0xC2CFF1B5, 0x4B800000,
+		// Rounding-boundary inputs surfaced by the exhaustive sweep.
+		0x0020b48e, 0x0041691c, 0x0082d238, 0x0085d5f3, 0x0102d238,
+	}
+	for _, b := range seeds {
+		for i := range names {
+			f.Add(b, uint8(i))
+		}
+	}
+	f.Fuzz(func(t *testing.T, bits uint32, fi uint8) {
+		name := names[int(fi)%len(names)]
+		scalar, _ := rlibm.Func(name)
+		x := math.Float32frombits(bits)
+		want := scalar(x)
+
+		// The fuzzed input rides in a window with its float neighbours so
+		// batch-internal reordering or blending is exercised too.
+		xs := []float32{fp.NextDown32(x), x, fp.NextUp32(x)}
+		dst := make([]float32, len(xs))
+		if err := rlibm.EvalSlice(name, dst, xs); err != nil {
+			t.Fatal(err)
+		}
+		if math.Float32bits(dst[1]) != math.Float32bits(want) {
+			t.Errorf("%s(%#08x): EvalSlice %#08x != scalar %#08x",
+				name, bits, math.Float32bits(dst[1]), math.Float32bits(want))
+		}
+		for i, n := range xs {
+			if w := scalar(n); math.Float32bits(dst[i]) != math.Float32bits(w) {
+				t.Errorf("%s(%#08x): window[%d] slice %#08x != scalar %#08x",
+					name, math.Float32bits(n), i, math.Float32bits(dst[i]), math.Float32bits(w))
+			}
+		}
+	})
+}
