@@ -18,8 +18,10 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"rlibm32/internal/checks"
@@ -36,7 +38,20 @@ func main() {
 	out := flag.String("out", "internal/libm", "output directory for generated Go files")
 	stats := flag.Bool("stats", false, "print the Table 3 style generation report")
 	extra := flag.String("extra", "", "file of extra input bit patterns to constrain on (one 0x%08x float32 pattern per line, e.g. a rlibmverify -dump file)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	timing := flag.Bool("timing", false, "print a per-phase wall-clock breakdown for every generated function")
+	jobs := flag.Int("jobs", 1, "generate this many functions concurrently (output is deterministic for any value)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
 
 	var variants []rangered.Variant
 	switch *typ {
@@ -100,18 +115,47 @@ func main() {
 				cfg.ExtraInputs = append(cfg.ExtraInputs, p.Float64())
 			}
 		}
-		var results []*gentool.Result
-		for _, name := range names {
-			t0 := time.Now()
-			fmt.Fprintf(os.Stderr, "[%s] generating %s...", v, name)
-			res, err := gentool.GenerateFunc(name, cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", v, name, err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, " ok (%.1fs, %v polys, %d LP calls, %d rounds)\n",
-				time.Since(t0).Seconds(), res.Stats.NumPolys, res.Stats.LPCalls, res.Stats.OuterRounds)
-			results = append(results, res)
+		// Functions are independent, so -jobs > 1 generates several at
+		// once. Results land in name order regardless of completion
+		// order, so the emitted files are identical for any job count.
+		results := make([]*gentool.Result, len(names))
+		var wg sync.WaitGroup
+		var logMu sync.Mutex
+		var genErr error
+		sem := make(chan struct{}, max(1, *jobs))
+		for i, name := range names {
+			wg.Add(1)
+			go func(i int, name string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				t0 := time.Now()
+				res, err := gentool.GenerateFunc(name, cfg)
+				logMu.Lock()
+				defer logMu.Unlock()
+				if err != nil {
+					if genErr == nil {
+						genErr = fmt.Errorf("%s/%s: %w", v, name, err)
+					}
+					return
+				}
+				fmt.Fprintf(os.Stderr, "[%s] %s ok (%.1fs, %v polys, %d LP calls, %d rounds)\n",
+					v, name, time.Since(t0).Seconds(), res.Stats.NumPolys, res.Stats.LPCalls, res.Stats.OuterRounds)
+				if *timing {
+					st := res.Stats
+					fmt.Fprintf(os.Stderr, "  timing %s: oracle %.1fs + polygen %.1fs + validate %.1fs (total %.1fs); LP: presolve %d/%d, warm %d, cold %d\n",
+						name, st.OracleTime.Seconds(), st.PolyTime.Seconds(), st.ValidateTime.Seconds(), st.GenTime.Seconds(),
+						st.PresolveAccepted, st.PresolveAccepted+st.PresolveRejected, st.WarmSolves, st.ColdSolves)
+				}
+				results[i] = res
+			}(i, name)
+		}
+		wg.Wait()
+		if genErr != nil {
+			fmt.Fprintln(os.Stderr, genErr)
+			os.Exit(1)
+		}
+		for _, res := range results {
 			allStats = append(allStats, res.Stats)
 		}
 		if *fn == "" {
@@ -190,4 +234,11 @@ func joinInts(v []int) string {
 		parts[i] = fmt.Sprintf("%d", x)
 	}
 	return strings.Join(parts, "/")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

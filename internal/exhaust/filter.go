@@ -1,120 +1,22 @@
-// Double-precision reference evaluators for the filter tier.
-//
-// Each reference computes f(x) in float64 with a small known ulp error
-// so that oracle.RoundDecided32 can certify the float32 rounding for
-// almost every input. Seven of the ten functions map straight onto Go's
-// math package (documented/observed accuracy of a couple of ulps). The
-// remaining three need care:
-//
-//   - exp10 has no math counterpart; math.Pow(10, x) loses accuracy as
-//     |x·ln10| grows, so a compensated exp(x·ln10) with a double-double
-//     ln10 constant is used instead.
-//   - sinpi/cospi cannot be math.Sin(math.Pi*x): near the zeros of the
-//     result the rounding of π·x destroys all relative accuracy. The
-//     argument is instead reduced exactly (float32 inputs widen to
-//     float64 exactly, and Mod/round/subtract below are exact), so the
-//     only errors are the final π multiply and the sin/cos call — a few
-//     ulps relative, everywhere.
+// Filter-tier references: thin delegation to the oracle's tier-0
+// double-precision evaluators (internal/oracle/ref.go), which were
+// promoted out of this package so the generation-time oracle can use
+// the same guard-band fast path the exhaustive sweep does.
 package exhaust
 
-import "math"
-
-// ln10Lo is ln(10) - math.Ln10 (the double-double tail of ln 10).
-const ln10Lo = -2.1707562233822494e-16
-
-// exp10Ref computes 10^x with compensated argument transformation:
-// p = RN(x·ln10hi), e = the exactly-FMA'd rounding error plus the tail
-// term x·ln10lo, and e^(p+e) = e^p·(1+e) to first order (|e| ≲ 710·2^-53 whenever
-// e^p is finite, so the truncated e²/2 term is far below double ulp).
-func exp10Ref(x float64) float64 {
-	p := x * math.Ln10
-	y := math.Exp(p)
-	if y == 0 || math.IsInf(y, 0) || math.IsNaN(y) {
-		// Underflowed/overflowed beyond double range (or NaN input):
-		// the correction cannot change the float32 rounding.
-		return y
-	}
-	e := math.FMA(x, math.Ln10, -p) + x*ln10Lo
-	return y + y*e
-}
-
-// reducePi2 returns d, n with x ≡ d + n (mod 2), d ∈ [-0.5, 0.5] and n
-// ∈ {0, 1}, all steps exact for float32-origin x: such x carry a 24-bit
-// significand, Mod(x, 2) keeps a suffix of those bits, Round is exact,
-// and the final subtraction is exact by Sterbenz-style alignment.
-func reducePi2(x float64) (d float64, odd bool) {
-	r := math.Mod(x, 2) // (-2, 2), exact
-	n := math.Round(r)  // nearest integer in {-2,-1,0,1,2}, exact
-	return r - n, int64(n)&1 != 0
-}
-
-// sinpiRef computes sin(πx) for float32-origin x to a few double ulps
-// of relative accuracy, including arbitrarily close to the zeros at the
-// integers.
-func sinpiRef(x float64) float64 {
-	if math.IsNaN(x) || math.IsInf(x, 0) {
-		return math.NaN()
-	}
-	if ax := math.Abs(x); ax >= 1<<24 {
-		// Every float32 with |x| ≥ 2^24 is an even integer: sin(πx) = ±0.
-		return x * 0
-	}
-	d, odd := reducePi2(x)
-	s := math.Sin(math.Pi * d) // |πd| ≤ π/2; relative error a few ulps
-	if odd {
-		s = -s
-	}
-	return s
-}
-
-// cospiRef computes cos(πx) for float32-origin x to a few double ulps
-// of relative accuracy, including arbitrarily close to the zeros at the
-// half-integers: there the quadrant is folded through sin(π(1/2-|d|)),
-// whose argument is exact (|d| ∈ (1/4, 1/2] keeps all bits within a
-// 53-bit window below 2^-1).
-func cospiRef(x float64) float64 {
-	if math.IsNaN(x) || math.IsInf(x, 0) {
-		return math.NaN()
-	}
-	if math.Abs(x) >= 1<<24 {
-		return 1 // cos of an even integer multiple of π
-	}
-	d, odd := reducePi2(x)
-	var c float64
-	if ad := math.Abs(d); ad <= 0.25 {
-		c = math.Cos(math.Pi * d)
-	} else {
-		c = math.Sin(math.Pi * (0.5 - ad))
-	}
-	if odd {
-		c = -c
-	}
-	return c
-}
-
-// refFuncs maps each library function name to its double reference.
-var refFuncs = map[string]func(float64) float64{
-	"ln":    math.Log,
-	"log2":  math.Log2,
-	"log10": math.Log10,
-	"exp":   math.Exp,
-	"exp2":  math.Exp2,
-	"exp10": exp10Ref,
-	"sinh":  math.Sinh,
-	"cosh":  math.Cosh,
-	"sinpi": sinpiRef,
-	"cospi": cospiRef,
-}
+import (
+	"rlibm32/internal/checks"
+	"rlibm32/internal/oracle"
+)
 
 // Ref64 returns the double-precision reference evaluator for the named
-// function, or false if the name is unknown. The returned function is
-// accurate to a few float64 ulps on every float32-origin input — the
-// contract oracle.RoundDecided32's guard band is sized against. A
-// second contract lets the sweep skip the oracle on domain errors: each
-// reference returns NaN exactly when the mathematical result is NaN
-// (negative arguments of the log family, NaN inputs), never spuriously
-// for a finite result.
+// library function, or false if the name is unknown. See oracle.Ref64
+// for the accuracy and NaN contracts; the sweep's fast path leans on
+// both.
 func Ref64(name string) (func(float64) float64, bool) {
-	f, ok := refFuncs[name]
-	return f, ok
+	f, ok := checks.OracleFunc[name]
+	if !ok {
+		return nil, false
+	}
+	return oracle.Ref64(f)
 }

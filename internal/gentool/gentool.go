@@ -89,14 +89,21 @@ type Stats struct {
 	Variant       string
 	GenTime       time.Duration
 	OracleTime    time.Duration
-	Inputs        int   // original inputs with constraints
-	ReducedInputs []int // unique reduced constraints per reduced function
-	NumPolys      []int // piecewise sub-domain count per reduced function
+	PolyTime      time.Duration // polynomial generation (LP + CEGIS)
+	ValidateTime  time.Duration // outer validation passes
+	Inputs        int           // original inputs with constraints
+	ReducedInputs []int         // unique reduced constraints per reduced function
+	NumPolys      []int         // piecewise sub-domain count per reduced function
 	Degree        []int
 	NumTerms      []int
 	LPCalls       int
 	OuterRounds   int
 	Mismatches    int // remaining validation mismatches (0 on success)
+	// LP engine breakdown (see polygen.Stats).
+	PresolveAccepted int
+	PresolveRejected int
+	WarmSolves       int
+	ColdSolves       int
 }
 
 // Result is one generated function implementation.
@@ -202,13 +209,18 @@ func GenerateFunc(name string, cfg Config) (*Result, error) {
 	oracleTime := time.Since(oracleStart)
 
 	res := &Result{Name: name, Fam: fam}
-	totalLP := 0
+	var pstats polygen.Stats
+	var polyTime, validateTime time.Duration
 	rounds := 0
 	mismatches := 0
+	// The validation sample is deterministic and round-independent:
+	// draw it once, not once per outer round.
+	val := sampleOrdinals(tgt, fam, cfg.ValidatePerFunc, cfg.EdgeWindow, 1)
 	for round := 0; round < cfg.MaxOuterRounds; round++ {
 		rounds = round + 1
 		res.Pieces = make([]*polygen.Piecewise, nf)
 		res.Stats.ReducedInputs = res.Stats.ReducedInputs[:0]
+		polyStart := time.Now()
 		for i := 0; i < nf; i++ {
 			merged, err := polygen.MergeByInput(append([]polygen.Constraint(nil), cons[i]...))
 			if err != nil {
@@ -224,18 +236,21 @@ func GenerateFunc(name string, cfg Config) (*Result, error) {
 				MinIndexBits:    cfg.MinIndexBits,
 				SampleThreshold: cfg.SampleThreshold,
 				FeasibilityOnly: cfg.FeasibilityOnly,
+				Workers:         cfg.Workers,
 			}
 			pw, st, err := polygen.Generate(merged, pcfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s (reduced func %d): %w", name, i, err)
 			}
-			totalLP += st.LPCalls
+			pstats.Merge(st)
 			res.Pieces[i] = pw
 			res.Stats.ReducedInputs = append(res.Stats.ReducedInputs, len(merged))
 		}
+		polyTime += time.Since(polyStart)
 		// Outer validation on an independent sample; feed back failures.
-		val := sampleOrdinals(tgt, fam, cfg.ValidatePerFunc, cfg.EdgeWindow, 1)
+		valStart := time.Now()
 		bad, err := validate(res, tgt, val, cfg.Workers)
+		validateTime += time.Since(valStart)
 		if err != nil {
 			return nil, err
 		}
@@ -267,15 +282,21 @@ func GenerateFunc(name string, cfg Config) (*Result, error) {
 	}
 
 	res.Stats = Stats{
-		Name:          name,
-		Variant:       cfg.Variant.String(),
-		GenTime:       time.Since(start),
-		OracleTime:    oracleTime,
-		Inputs:        len(gen),
-		ReducedInputs: res.Stats.ReducedInputs,
-		LPCalls:       totalLP,
-		OuterRounds:   rounds,
-		Mismatches:    mismatches,
+		Name:             name,
+		Variant:          cfg.Variant.String(),
+		GenTime:          time.Since(start),
+		OracleTime:       oracleTime,
+		PolyTime:         polyTime,
+		ValidateTime:     validateTime,
+		Inputs:           len(gen),
+		ReducedInputs:    res.Stats.ReducedInputs,
+		LPCalls:          pstats.LPCalls,
+		OuterRounds:      rounds,
+		Mismatches:       mismatches,
+		PresolveAccepted: pstats.PresolveAccepted,
+		PresolveRejected: pstats.PresolveRejected,
+		WarmSolves:       pstats.WarmSolves,
+		ColdSolves:       pstats.ColdSolves,
 	}
 	for _, pw := range res.Pieces {
 		n, deg, terms := 0, 0, 0
@@ -415,6 +436,17 @@ func constraintsFor(fam rangered.Family, tgt interval.Target, xs []float64, work
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			// Per-worker scratch: the reduced-value slice and output-
+			// compensation closure are reused across inputs instead of
+			// allocating once per input.
+			var valBuf [2]float64
+			var ocC rangered.Ctx
+			oc := func(vs []float64) float64 {
+				var a [2]float64
+				copy(a[:], vs)
+				return fam.OC(a, ocC)
+			}
+			funcs := fam.Funcs()
 			for idx := lo; idx < hi; idx++ {
 				x := xs[idx]
 				y, ok := oracle.Target(tgt, fam.Fn(), x)
@@ -426,15 +458,11 @@ func constraintsFor(fam rangered.Family, tgt interval.Target, xs []float64, work
 					continue
 				}
 				r, c := fam.Reduce(x)
-				var vals []float64
-				for _, rf := range fam.Funcs() {
+				vals := valBuf[:0]
+				for _, rf := range funcs {
 					vals = append(vals, oracle.Float64(rf, r))
 				}
-				oc := func(vs []float64) float64 {
-					var a [2]float64
-					copy(a[:], vs)
-					return fam.OC(a, c)
-				}
+				ocC = c
 				los, his, ctrs, ok := redint.Deduce(vals, oc, iv)
 				if !ok {
 					errMu.Lock()

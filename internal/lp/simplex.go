@@ -147,11 +147,14 @@ func (t *tableau) minimize() error {
 	}
 }
 
-// solveStandard solves min costᵀ x s.t. A x = b, x >= 0 using two-phase
-// simplex. It returns the optimal objective value, the primal solution
-// x, and the simplex multipliers π (one per constraint row, recovered
-// from the artificial columns). b entries may have any sign.
-func solveStandard(a [][]*big.Rat, b []*big.Rat, cost []*big.Rat) (obj *big.Rat, x []*big.Rat, pi []*big.Rat, err error) {
+// solveStandardRat solves min costᵀ x s.t. A x = b, x >= 0 using
+// two-phase simplex over big.Rat. It returns the optimal objective
+// value, the primal solution x, and the simplex multipliers π (one per
+// constraint row, recovered from the artificial columns). b entries may
+// have any sign. It is the last-resort engine for non-dyadic problems;
+// solveStandard routes dyadic ones to the fraction-free integer tableau
+// in exact.go, which makes the same pivot choices.
+func solveStandardRat(a [][]*big.Rat, b []*big.Rat, cost []*big.Rat) (obj *big.Rat, x []*big.Rat, pi []*big.Rat, err error) {
 	m := len(b)
 	n := len(cost)
 	t := newTableau(m, n+m)

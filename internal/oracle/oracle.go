@@ -133,6 +133,16 @@ func float32Uncached(f bigfp.Func, x float64) float32 {
 	if y, ok := domainEdge(f, x); ok {
 		return float32(y)
 	}
+	// Tier 0: a double-precision reference plus guard band decides the
+	// float32 rounding for all but a ~2^-19 sliver of inputs at the cost
+	// of one math-package call (see ref.go and guard.go). Restricted to
+	// float32-origin inputs — the accuracy contract the exhaustive
+	// sweeps validated — and undecided bands fall through to the ladder.
+	if ref, ok := ref64[f]; ok && float64(float32(x)) == x {
+		if v, decided := RoundDecided32(ref(x), DefaultGuardUlps); decided {
+			return v
+		}
+	}
 	s := zivPool.Get().(*zivScratch)
 	defer zivPool.Put(s)
 	var last float32

@@ -15,7 +15,10 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rlibm32/internal/fp"
 	"rlibm32/internal/lp"
@@ -62,6 +65,12 @@ type Config struct {
 	// constraints but generalizes poorly between samples; see DESIGN.md
 	// §4b.
 	FeasibilityOnly bool
+	// Workers bounds how many sub-domains are generated concurrently
+	// (0 = GOMAXPROCS). Output and Stats are bit-identical for every
+	// value: sub-domains are independent, results land in disjoint
+	// coefficient rows, and stats are merged in sub-domain order with
+	// the same first-failure cutoff the serial loop has.
+	Workers int
 }
 
 // withDefaults fills zero fields.
@@ -81,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRefine == 0 {
 		c.MaxRefine = 200
 	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -90,6 +102,25 @@ type Stats struct {
 	Refinements     int
 	Counterexamples int
 	SubdomainFails  int
+	// LP engine breakdown (see lp.SolverStats): how many solves the
+	// certified float64 presolve settled vs. how many fell through to
+	// the exact tableau, and of those, how many warm-started.
+	PresolveAccepted int
+	PresolveRejected int
+	WarmSolves       int
+	ColdSolves       int
+}
+
+// Merge folds o into st.
+func (st *Stats) Merge(o *Stats) {
+	st.LPCalls += o.LPCalls
+	st.Refinements += o.Refinements
+	st.Counterexamples += o.Counterexamples
+	st.SubdomainFails += o.SubdomainFails
+	st.PresolveAccepted += o.PresolveAccepted
+	st.PresolveRejected += o.PresolveRejected
+	st.WarmSolves += o.WarmSolves
+	st.ColdSolves += o.ColdSolves
 }
 
 // Piecewise is the generated approximation: per-sign piecewise tables.
@@ -273,7 +304,15 @@ func genApproxHelper(cons []Constraint, cfg Config, st *Stats) (*piecewise.Table
 	return nil, ErrInfeasible
 }
 
-// genPiecewise generates one polynomial per sub-domain.
+// genPiecewise generates one polynomial per sub-domain, fanning the
+// independent sub-domains across cfg.Workers goroutines. Determinism:
+// each sub-domain writes a disjoint coefficient row and its own Stats;
+// the rows are position-indexed and the stats are merged sequentially
+// in sub-domain order, stopping at the first failed sub-domain —
+// exactly what a serial loop would have accumulated. Workers only skip
+// sub-domains *beyond* the earliest failure seen so far; since
+// sub-domains are claimed in increasing order, everything at or before
+// the true first failure always runs, so the cutoff is identical too.
 func genPiecewise(cons []Constraint, groups []int, n, shift uint, mn, mx uint64, cfg Config, st *Stats) (*piecewise.Table, bool) {
 	nGroups := 1 << n
 	byGroup := make([][]Constraint, nGroups)
@@ -284,16 +323,68 @@ func genPiecewise(cons []Constraint, groups []int, n, shift uint, mn, mx uint64,
 	kind := piecewise.KindOf(cfg.Terms)
 	coeffs := make([]float64, nGroups*nt)
 	filled := make([]bool, nGroups)
-	for g, gc := range byGroup {
-		if len(gc) == 0 {
+
+	type groupRes struct {
+		st Stats
+		ok bool
+	}
+	res := make([]groupRes, nGroups)
+	var next, failMin atomic.Int64
+	failMin.Store(int64(nGroups))
+	work := func() {
+		for {
+			g := int(next.Add(1) - 1)
+			if g >= nGroups {
+				return
+			}
+			if int64(g) > failMin.Load() {
+				continue // result would be discarded by the merge cutoff
+			}
+			gc := byGroup[g]
+			if len(gc) == 0 {
+				res[g].ok = true
+				continue
+			}
+			row, ok := GenPolynomial(gc, cfg, &res[g].st)
+			res[g].ok = ok
+			if ok {
+				copy(coeffs[g*nt:], row)
+				filled[g] = true
+			} else {
+				for {
+					cur := failMin.Load()
+					if int64(g) >= cur || failMin.CompareAndSwap(cur, int64(g)) {
+						break
+					}
+				}
+			}
+		}
+	}
+	workers := cfg.Workers
+	if workers > nGroups {
+		workers = nGroups
+	}
+	if workers <= 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+	for g := 0; g < nGroups; g++ {
+		if len(byGroup[g]) == 0 {
 			continue
 		}
-		row, ok := GenPolynomial(gc, cfg, st)
-		if !ok {
+		st.Merge(&res[g].st)
+		if !res[g].ok {
 			return nil, false
 		}
-		copy(coeffs[g*nt:], row)
-		filled[g] = true
 	}
 	// Fill empty sub-domains with the nearest generated polynomial so
 	// runtime inputs that fall between sampled inputs still evaluate a
@@ -324,9 +415,13 @@ func genPiecewise(cons []Constraint, groups []int, n, shift uint, mn, mx uint64,
 }
 
 // sampleCon is one LP constraint with its (possibly refined) exact
-// rational interval.
+// rational interval. The rationals for the reduced input and preferred
+// value are converted once when the constraint enters the sample, not
+// per LP call.
 type sampleCon struct {
-	idx    int // index into the sub-domain constraint slice
+	idx    int      // index into the sub-domain constraint slice
+	x      *big.Rat // exact reduced input
+	v      *big.Rat // exact preferred value, nil if V is not finite
 	lo, hi *big.Rat
 	loF    float64 // current float mirror of lo (for refinement steps)
 	hiF    float64
@@ -341,6 +436,16 @@ func GenPolynomial(gc []Constraint, cfg Config, st *Stats) ([]float64, bool) {
 	cfg = cfg.withDefaults()
 	lpc := gc
 	kind := piecewise.KindOf(cfg.Terms)
+	// One Solver per sub-domain: CEGIS rounds and refinement steps share
+	// its monomial-power cache and warm-start basis (the sample only
+	// grows or tightens, so consecutive LPs are near-identical).
+	solver := lp.NewSolver()
+	defer func() {
+		st.PresolveAccepted += solver.Stats.PresolveAccepted
+		st.PresolveRejected += solver.Stats.PresolveRejected
+		st.WarmSolves += solver.Stats.WarmSolves
+		st.ColdSolves += solver.Stats.ColdSolves
+	}()
 	inSample := make(map[int]bool)
 	var sample []*sampleCon
 	add := func(i int) {
@@ -349,11 +454,15 @@ func GenPolynomial(gc []Constraint, cfg Config, st *Stats) ([]float64, bool) {
 		}
 		inSample[i] = true
 		c := lpc[i]
-		sample = append(sample, &sampleCon{
-			idx: i,
-			lo:  lp.RatFromFloat(c.Lo), hi: lp.RatFromFloat(c.Hi),
+		sc := &sampleCon{
+			idx: i, x: lp.RatFromFloat(c.R),
+			lo: lp.RatFromFloat(c.Lo), hi: lp.RatFromFloat(c.Hi),
 			loF: c.Lo, hiF: c.Hi,
-		})
+		}
+		if !math.IsNaN(c.V) && !math.IsInf(c.V, 0) {
+			sc.v = lp.RatFromFloat(c.V)
+		}
+		sample = append(sample, sc)
 	}
 	// Density-uniform seed sample over the sorted constraints, plus the
 	// tightest ("highly constrained") intervals.
@@ -368,7 +477,7 @@ func GenPolynomial(gc []Constraint, cfg Config, st *Stats) ([]float64, bool) {
 
 	refines := 0
 	for round := 0; ; round++ {
-		coeffs, ok := solveAndRefine(lpc, sample, cfg, kind, &refines, st)
+		coeffs, ok := solveAndRefine(solver, lpc, sample, cfg, kind, &refines, st)
 		if !ok {
 			return nil, false
 		}
@@ -430,20 +539,19 @@ func addTightest(gc []Constraint, add func(int), k int) {
 // solveAndRefine runs the LP on the sample and repairs double-rounding
 // of the coefficients by shrinking violated sample intervals one ulp at
 // a time (the paper's search-and-refine).
-func solveAndRefine(lpc []Constraint, sample []*sampleCon, cfg Config, kind piecewise.Kind, refines *int, st *Stats) ([]float64, bool) {
+func solveAndRefine(solver *lp.Solver, lpc []Constraint, sample []*sampleCon, cfg Config, kind piecewise.Kind, refines *int, st *Stats) ([]float64, bool) {
+	prob := &lp.Problem{Terms: cfg.Terms, Cons: make([]lp.Constraint, 0, len(sample))}
 	for {
-		prob := &lp.Problem{Terms: cfg.Terms}
+		prob.Cons = prob.Cons[:0]
 		for _, s := range sample {
-			c := lp.Constraint{
-				X: lp.RatFromFloat(lpc[s.idx].R), Lo: s.lo, Hi: s.hi,
-			}
-			if v := lpc[s.idx].V; !cfg.FeasibilityOnly && !math.IsNaN(v) && !math.IsInf(v, 0) {
-				c.V = lp.RatFromFloat(v)
+			c := lp.Constraint{X: s.x, Lo: s.lo, Hi: s.hi}
+			if !cfg.FeasibilityOnly {
+				c.V = s.v
 			}
 			prob.Cons = append(prob.Cons, c)
 		}
 		st.LPCalls++
-		res, err := lp.Solve(prob)
+		res, err := solver.Solve(prob)
 		if err != nil || !res.Feasible {
 			return nil, false
 		}
@@ -453,20 +561,16 @@ func solveAndRefine(lpc []Constraint, sample []*sampleCon, cfg Config, kind piec
 		// runtime will evaluate them.
 		bad := -1
 		var badHigh bool
-		for _, s := range sample {
-			c := lpc[s.idx]
-			v := piecewise.EvalPoly(kind, cfg.Terms, coeffs, c.R)
+		for si, s := range sample {
+			v := piecewise.EvalPoly(kind, cfg.Terms, coeffs, lpc[s.idx].R)
 			if v < s.loF {
-				bad = sampleIndex(sample, s)
-				badHigh = false
+				bad, badHigh = si, false
 				break
 			}
 			if v > s.hiF {
-				bad = sampleIndex(sample, s)
-				badHigh = true
+				bad, badHigh = si, true
 				break
 			}
-			_ = c
 		}
 		if bad < 0 {
 			return coeffs, true
@@ -490,15 +594,6 @@ func solveAndRefine(lpc []Constraint, sample []*sampleCon, cfg Config, kind piec
 			return nil, false
 		}
 	}
-}
-
-func sampleIndex(sample []*sampleCon, target *sampleCon) int {
-	for i, s := range sample {
-		if s == target {
-			return i
-		}
-	}
-	return -1
 }
 
 func max(a, b int) int {

@@ -173,3 +173,103 @@ func TestPiecewiseEvalMatchesEvalPoly(t *testing.T) {
 		}
 	}
 }
+
+// pwEqual compares two generated approximations bit for bit.
+func pwEqual(a, b *Piecewise) bool {
+	tbl := func(x, y *piecewise.Table) bool {
+		if (x == nil) != (y == nil) {
+			return false
+		}
+		if x == nil {
+			return true
+		}
+		if x.N != y.N || x.Kind != y.Kind || len(x.Coeffs) != len(y.Coeffs) {
+			return false
+		}
+		for i := range x.Coeffs {
+			if math.Float64bits(x.Coeffs[i]) != math.Float64bits(y.Coeffs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return tbl(a.Pos, b.Pos) && tbl(a.Neg, b.Neg)
+}
+
+// TestGenerateParallelDeterminism pins the determinism contract of the
+// parallel sub-domain driver: any worker count produces bit-identical
+// tables AND identical stats (LPCalls lands in the committed
+// zgen_stats.go, so it must not depend on scheduling). Run with -race,
+// this is also the data-race check for the shared coeffs/stats arrays.
+func TestGenerateParallelDeterminism(t *testing.T) {
+	cons := mkCons(math.Exp, 0x1p-10, 0.25, 2e-7, 1200)
+	base := Config{Terms: []int{0, 1}, MaxIndexBits: 12}
+	var ref *Piecewise
+	var refStats Stats
+	for _, workers := range []int{1, 4, 7} {
+		cfg := base
+		cfg.Workers = workers
+		pw, st, err := Generate(cons, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		checkAll(t, pw, cons)
+		if ref == nil {
+			ref, refStats = pw, *st
+			continue
+		}
+		if !pwEqual(ref, pw) {
+			t.Errorf("workers=%d: tables differ from serial run", workers)
+		}
+		if *st != refStats {
+			t.Errorf("workers=%d: stats differ: %+v vs serial %+v", workers, st, refStats)
+		}
+	}
+}
+
+// TestGenerateParallelFailureDeterminism checks the first-failure
+// cutoff: when a split level fails, the merged stats must match the
+// serial loop (which stops at the first failed sub-domain) for every
+// worker count, including the SubdomainFails count across levels.
+func TestGenerateParallelFailureDeterminism(t *testing.T) {
+	// Tight linear fit of exp: several split levels fail before one
+	// succeeds, exercising the failure path at each level.
+	cons := mkCons(math.Exp, 0x1p-10, 0.5, 1e-7, 900)
+	base := Config{Terms: []int{0, 1}, MaxIndexBits: 12}
+	var refStats Stats
+	var ref *Piecewise
+	for _, workers := range []int{1, 5} {
+		cfg := base
+		cfg.Workers = workers
+		pw, st, err := Generate(cons, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if workers == 1 {
+			ref, refStats = pw, *st
+			if st.SubdomainFails == 0 {
+				t.Skip("instance no longer exercises the failure path")
+			}
+			continue
+		}
+		if !pwEqual(ref, pw) {
+			t.Errorf("workers=%d: tables differ from serial run", workers)
+		}
+		if *st != refStats {
+			t.Errorf("workers=%d: stats differ: %+v vs serial %+v", workers, st, refStats)
+		}
+	}
+}
+
+// BenchmarkGenerate measures end-to-end piecewise generation on the
+// splitting instance (the shape that dominates rlibmgen wall-clock).
+func BenchmarkGenerate(b *testing.B) {
+	cons := mkCons(math.Exp, 0x1p-10, 0.25, 2e-7, 1200)
+	cfg := Config{Terms: []int{0, 1}, MaxIndexBits: 12, Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Generate(cons, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
