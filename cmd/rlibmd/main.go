@@ -1,0 +1,90 @@
+// Command rlibmd serves the generated correctly rounded libraries over
+// a compact binary TCP protocol (see internal/server). Concurrent
+// small requests for the same (function, representation) are coalesced
+// into large batches before hitting the EvalSlice kernels; overload is
+// shed with explicit BUSY responses; results are bit-exact with the
+// in-process library.
+//
+//	rlibmd -addr 127.0.0.1:7043 -admin 127.0.0.1:7044
+//
+// The admin listener exports expvar counters (per-function request/
+// value/busy counts, latency percentiles, coalescing stats) at
+// /debug/vars and the standard pprof endpoints at /debug/pprof/.
+// SIGINT/SIGTERM trigger a graceful drain: in-flight requests finish,
+// then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rlibm32/internal/libm"
+	"rlibm32/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7043", "serve address")
+	admin := flag.String("admin", "", "admin (expvar + pprof) address; empty disables")
+	workers := flag.Int("workers", 0, "evaluation workers (default GOMAXPROCS)")
+	maxFrame := flag.Int("max-frame", server.DefaultMaxFrame, "max frame payload bytes")
+	maxBatch := flag.Int("max-batch", 1<<16, "max values per coalesced kernel dispatch")
+	maxInflight := flag.Int64("max-inflight", 1<<20, "max admitted-but-unevaluated values before BUSY shedding")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "per-frame read deadline")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Addr:         *addr,
+		Workers:      *workers,
+		MaxFrame:     *maxFrame,
+		MaxBatch:     *maxBatch,
+		MaxInflight:  *maxInflight,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	})
+	s.Metrics().Publish()
+
+	if *admin != "" {
+		adminSrv := &http.Server{Addr: *admin, Handler: s.Metrics().AdminHandler()}
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("rlibmd: admin listener: %v", err)
+			}
+		}()
+		defer adminSrv.Close()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe() }()
+
+	nfuncs := 0
+	for _, v := range libm.Variants() {
+		nfuncs += len(libm.Names(v))
+	}
+	log.Printf("rlibmd: serving %d functions on %s", nfuncs, *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil && err != server.ErrServerClosed {
+			log.Fatalf("rlibmd: %v", err)
+		}
+	case got := <-sig:
+		log.Printf("rlibmd: %v: draining (timeout %s)", got, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			log.Fatalf("rlibmd: drain failed: %v", err)
+		}
+		fmt.Println("rlibmd: drained cleanly")
+	}
+}

@@ -1,0 +1,268 @@
+// Command rlibmload is the load generator and correctness prober for
+// rlibmd. It opens -conns connections, each sending batches of -batch
+// raw bit patterns for a rotating set of functions, and reports
+// throughput (values/s, requests/s) and request latency percentiles.
+//
+// With -verify (the default), every result bit pattern is compared
+// against the in-process library, so a run doubles as an end-to-end
+// bit-exactness check; any mismatch, protocol error or non-BUSY error
+// frame makes the process exit non-zero. BUSY responses are counted
+// and reported but are not failures — they are the server's designed
+// load shedding.
+//
+//	rlibmload -addr 127.0.0.1:7043 -duration 5s -conns 8 -batch 256
+//	rlibmload -addr 127.0.0.1:7043 -batch 1          # scalar RPC mode
+//	rlibmload -addr 127.0.0.1:7043 -ping             # readiness probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rlibm32/bfloat16"
+	"rlibm32/float16"
+	"rlibm32/internal/libm"
+	"rlibm32/internal/perf"
+	"rlibm32/internal/server"
+	"rlibm32/posit16"
+	"rlibm32/posit32/positmath"
+
+	rlibm "rlibm32"
+)
+
+// workload is one function's precomputed input and expected-output bit
+// arrays.
+type workload struct {
+	name     string
+	in       []uint32
+	expected []uint32
+}
+
+// buildWorkloads precomputes inputs (via the shared internal/perf
+// generators for the 32-bit types; the full 2^16 input space for the
+// 16-bit types) and expected outputs from direct in-process calls.
+func buildWorkloads(variant string, funcs []string, n int) ([]workload, error) {
+	var out []workload
+	for _, name := range funcs {
+		w := workload{name: name}
+		switch variant {
+		case libm.VariantFloat32:
+			f, ok := rlibm.Func(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown float32 function %q", name)
+			}
+			xs := perf.Float32Inputs(name, n)
+			w.in = make([]uint32, n)
+			w.expected = make([]uint32, n)
+			for i, x := range xs {
+				w.in[i] = math.Float32bits(x)
+				w.expected[i] = math.Float32bits(f(x))
+			}
+		case libm.VariantPosit32:
+			f, ok := positmath.Func(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown posit32 function %q", name)
+			}
+			ps := perf.PositInputs(name, n)
+			w.in = make([]uint32, n)
+			w.expected = make([]uint32, n)
+			for i, p := range ps {
+				w.in[i] = uint32(p)
+				w.expected[i] = uint32(f(p))
+			}
+		case libm.VariantBfloat16:
+			f, ok := bfloat16.Func(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown bfloat16 function %q", name)
+			}
+			w.in, w.expected = all16(func(b uint16) uint16 { return f(bfloat16.FromBits(b)).Bits() })
+		case libm.VariantFloat16:
+			f, ok := float16.Func(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown float16 function %q", name)
+			}
+			w.in, w.expected = all16(func(b uint16) uint16 { return f(float16.FromBits(b)).Bits() })
+		case libm.VariantPosit16:
+			f, ok := posit16.Func(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown posit16 function %q", name)
+			}
+			w.in, w.expected = all16(func(b uint16) uint16 { return f(posit16.FromBits(b)).Bits() })
+		default:
+			return nil, fmt.Errorf("unknown type %q (want one of %s)", variant, strings.Join(libm.Variants(), " "))
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// all16 enumerates the full 16-bit input space with expected outputs.
+func all16(f func(uint16) uint16) (in, expected []uint32) {
+	in = make([]uint32, 1<<16)
+	expected = make([]uint32, 1<<16)
+	for b := 0; b < 1<<16; b++ {
+		in[b] = uint32(b)
+		expected[b] = uint32(f(uint16(b)))
+	}
+	return in, expected
+}
+
+// connStats accumulates one connection's counters.
+type connStats struct {
+	requests   uint64
+	values     uint64
+	busy       uint64
+	errFrames  uint64 // non-OK, non-BUSY responses
+	transport  uint64
+	mismatches uint64
+	latencies  []time.Duration
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7043", "rlibmd address")
+	ping := flag.Bool("ping", false, "send one ping and exit (readiness probe)")
+	duration := flag.Duration("duration", 5*time.Second, "load duration")
+	conns := flag.Int("conns", 8, "concurrent connections")
+	batch := flag.Int("batch", 256, "values per request (1 = scalar RPC mode)")
+	typ := flag.String("type", "float32", "representation: "+strings.Join(libm.Variants(), " "))
+	funcsFlag := flag.String("funcs", "all", "comma-separated function names, or all")
+	n := flag.Int("n", 1<<16, "precomputed inputs per function (32-bit types)")
+	verify := flag.Bool("verify", true, "check every result bit against the in-process library")
+	quiet := flag.Bool("quiet", false, "only print the summary line")
+	flag.Parse()
+
+	if *ping {
+		c, err := server.Dial(*addr)
+		if err == nil {
+			err = c.Ping()
+			c.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rlibmload: ping:", err)
+			os.Exit(1)
+		}
+		fmt.Println("rlibmload: server is up")
+		return
+	}
+
+	code, ok := server.TypeCode(*typ)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rlibmload: unknown -type %q\n", *typ)
+		os.Exit(2)
+	}
+	funcs := libm.Names(*typ)
+	if *funcsFlag != "all" {
+		funcs = strings.Split(*funcsFlag, ",")
+	}
+	if !*quiet {
+		fmt.Printf("rlibmload: precomputing %s expected outputs for %s\n", *typ, strings.Join(funcs, " "))
+	}
+	work, err := buildWorkloads(*typ, funcs, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlibmload:", err)
+		os.Exit(2)
+	}
+
+	stats := make([]connStats, *conns)
+	var wg sync.WaitGroup
+	stop := time.Now().Add(*duration)
+	for ci := 0; ci < *conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			st := &stats[ci]
+			c, err := server.Dial(*addr)
+			if err != nil {
+				st.transport++
+				return
+			}
+			defer c.Close()
+			off := ci * 131 // de-phase connections across the input arrays
+			for i := 0; time.Now().Before(stop); i++ {
+				w := &work[(ci+i)%len(work)]
+				lo := (off + i**batch) % len(w.in)
+				hi := lo + *batch
+				if hi > len(w.in) {
+					hi = len(w.in)
+				}
+				in := w.in[lo:hi]
+				start := time.Now()
+				got, status, err := c.EvalBits(code, w.name, in)
+				lat := time.Since(start)
+				if err != nil {
+					st.transport++
+					return
+				}
+				switch status {
+				case server.StatusOK:
+					st.requests++
+					st.values += uint64(len(in))
+					st.latencies = append(st.latencies, lat)
+					if *verify {
+						for j := range in {
+							if got[j] != w.expected[lo+j] {
+								st.mismatches++
+							}
+						}
+					}
+				case server.StatusBusy:
+					st.busy++
+					time.Sleep(200 * time.Microsecond)
+				default:
+					st.errFrames++
+				}
+			}
+		}(ci)
+	}
+	startAll := time.Now()
+	wg.Wait()
+	elapsed := time.Since(startAll)
+	if elapsed > *duration {
+		elapsed = *duration // workers stop on the shared deadline
+	}
+
+	var total connStats
+	var lats []time.Duration
+	for i := range stats {
+		total.requests += stats[i].requests
+		total.values += stats[i].values
+		total.busy += stats[i].busy
+		total.errFrames += stats[i].errFrames
+		total.transport += stats[i].transport
+		total.mismatches += stats[i].mismatches
+		lats = append(lats, stats[i].latencies...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+
+	fmt.Printf("rlibmload: type=%s conns=%d batch=%d duration=%v\n", *typ, *conns, *batch, elapsed.Round(time.Millisecond))
+	fmt.Printf("  requests=%d values=%d throughput=%.0f values/s (%.0f req/s)\n",
+		total.requests, total.values,
+		float64(total.values)/elapsed.Seconds(), float64(total.requests)/elapsed.Seconds())
+	fmt.Printf("  latency p50=%v p99=%v busy=%d err_frames=%d transport_errs=%d mismatches=%d\n",
+		q(0.50).Round(time.Microsecond), q(0.99).Round(time.Microsecond),
+		total.busy, total.errFrames, total.transport, total.mismatches)
+	if total.mismatches > 0 || total.errFrames > 0 || total.transport > 0 {
+		fmt.Fprintln(os.Stderr, "rlibmload: FAILED (mismatch or error frames)")
+		os.Exit(1)
+	}
+	if total.requests == 0 {
+		fmt.Fprintln(os.Stderr, "rlibmload: FAILED (no successful requests)")
+		os.Exit(1)
+	}
+}

@@ -409,22 +409,39 @@ func compileSlice64(f *impl) func(dst []float64, xs []float64) {
 
 // Float32SliceImpls returns the generated float32 batch evaluators
 // keyed by function name. Each writes f(xs[i]) into dst[i] for every
-// element of xs; dst must be at least as long as xs.
+// element of xs. Contract: a zero-length xs is a no-op; if dst is
+// shorter than xs the call panics up front, before any element of dst
+// is written (never mid-batch with a partial result).
 func Float32SliceImpls() map[string]func(dst, xs []float32) {
 	out := make(map[string]func(dst, xs []float32), len(float32Impls))
 	for _, f := range float32Impls {
-		out[f.name] = compileSlice(f)
+		k := compileSlice(f)
+		out[f.name] = func(dst, xs []float32) {
+			if len(xs) == 0 {
+				return
+			}
+			_ = dst[len(xs)-1] // full-batch bounds check: panic before any write
+			k(dst, xs)
+		}
 	}
 	return out
 }
 
 // Posit32SliceImpls returns the generated posit32 batch evaluators
 // over exact float64 embeddings (the posit32/positmath package wraps
-// them with encoding conversions).
+// them with encoding conversions). The dst/xs length contract matches
+// Float32SliceImpls: len-0 no-op, up-front panic on short dst.
 func Posit32SliceImpls() map[string]func(dst, xs []float64) {
 	out := make(map[string]func(dst, xs []float64), len(posit32Impls))
 	for _, f := range posit32Impls {
-		out[f.name] = compileSlice64(f)
+		k := compileSlice64(f)
+		out[f.name] = func(dst, xs []float64) {
+			if len(xs) == 0 {
+				return
+			}
+			_ = dst[len(xs)-1] // full-batch bounds check: panic before any write
+			k(dst, xs)
+		}
 	}
 	return out
 }
@@ -482,19 +499,11 @@ func Posit16Impls() map[string]func(float64) float64 {
 }
 
 // Lookup returns the compiled double-precision evaluator for harnesses
-// that need the raw double result (e.g. the sub-domain sweep).
+// that need the raw double result (e.g. the sub-domain sweep). An
+// unknown variant falls back to the float32 registry.
 func Lookup(variant, name string) (func(float64) float64, bool) {
-	var list []*impl
-	switch variant {
-	case "posit32":
-		list = posit32Impls
-	case "bfloat16":
-		list = bfloat16Impls
-	case "float16":
-		list = float16Impls
-	case "posit16":
-		list = posit16Impls
-	default:
+	list := implsFor(variant)
+	if list == nil {
 		list = float32Impls
 	}
 	for _, f := range list {
@@ -526,17 +535,8 @@ type TableInfo struct {
 
 // Describe reports the table structure of one generated function.
 func Describe(variant, name string) (TableInfo, bool) {
-	var list []*impl
-	switch variant {
-	case "posit32":
-		list = posit32Impls
-	case "bfloat16":
-		list = bfloat16Impls
-	case "float16":
-		list = float16Impls
-	case "posit16":
-		list = posit16Impls
-	default:
+	list := implsFor(variant)
+	if list == nil {
 		list = float32Impls
 	}
 	for _, f := range list {

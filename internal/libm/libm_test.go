@@ -75,3 +75,39 @@ func BenchmarkCompiledExpFloat32(b *testing.B) {
 	}
 	_ = s
 }
+
+// TestRegistry pins the exported implementation registry: every
+// variant enumerates its generated functions in table order, and the
+// flattened Registry() agrees with the per-variant Names().
+func TestRegistry(t *testing.T) {
+	wantLen := map[string]int{
+		VariantFloat32:  10,
+		VariantPosit32:  8,
+		VariantBfloat16: 10,
+		VariantFloat16:  10,
+		VariantPosit16:  8,
+	}
+	total := 0
+	for _, v := range Variants() {
+		names := Names(v)
+		if len(names) != wantLen[v] {
+			t.Errorf("Names(%s): got %d functions, want %d", v, len(names), wantLen[v])
+		}
+		if names[0] != "ln" {
+			t.Errorf("Names(%s): first function %q, want ln", v, names[0])
+		}
+		for _, n := range names {
+			if _, ok := Lookup(v, n); !ok {
+				t.Errorf("Lookup(%s, %s) missing", v, n)
+			}
+		}
+		total += len(names)
+	}
+	reg := Registry()
+	if len(reg) != total {
+		t.Errorf("Registry(): %d entries, want %d", len(reg), total)
+	}
+	if len(Names("no-such-variant")) != 0 {
+		t.Error("Names of unknown variant should be empty")
+	}
+}

@@ -1,0 +1,73 @@
+package libm
+
+// Variant names for the generated table sets. These are the strings
+// accepted by Lookup, Describe, Names and Registry, and the canonical
+// spelling used across the repo (generator -type flag, server wire
+// protocol, CLI tools).
+const (
+	VariantFloat32  = "float32"
+	VariantPosit32  = "posit32"
+	VariantBfloat16 = "bfloat16"
+	VariantFloat16  = "float16"
+	VariantPosit16  = "posit16"
+)
+
+// Variants lists every generated variant in the repo's conventional
+// order (the paper's Table 1/2 targets first, then the 16-bit
+// extensions).
+func Variants() []string {
+	return []string{VariantFloat32, VariantPosit32, VariantBfloat16, VariantFloat16, VariantPosit16}
+}
+
+// implsFor returns the generated implementation list of one variant
+// (nil for an unknown variant name).
+func implsFor(variant string) []*impl {
+	switch variant {
+	case VariantFloat32:
+		return float32Impls
+	case VariantPosit32:
+		return posit32Impls
+	case VariantBfloat16:
+		return bfloat16Impls
+	case VariantFloat16:
+		return float16Impls
+	case VariantPosit16:
+		return posit16Impls
+	}
+	return nil
+}
+
+// Names lists the generated function names of one variant in
+// generation (paper table) order. It is derived from the zgen_*.go
+// registries, so it cannot drift from what was actually generated; the
+// public packages' Names() functions and the server dispatch all
+// consume it. The returned slice is fresh on every call.
+func Names(variant string) []string {
+	list := implsFor(variant)
+	out := make([]string, len(list))
+	for i, f := range list {
+		out[i] = f.name
+	}
+	return out
+}
+
+// Entry is one generated (variant, function) implementation.
+type Entry struct {
+	Variant string
+	Name    string
+}
+
+// Registry enumerates every generated implementation across all
+// variants, in Variants()/Names() order. This is the single source of
+// truth for "what can be evaluated": dispatch tables (the rlibmd
+// server, harnesses) should be built by ranging over it rather than
+// repeating name lists.
+func Registry() []Entry {
+	var out []Entry
+	for _, v := range Variants() {
+		for _, f := range implsFor(v) {
+			out = append(out, Entry{Variant: v, Name: f.name})
+		}
+	}
+	return out
+}

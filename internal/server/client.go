@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"rlibm32/posit32"
+)
+
+// Client is a synchronous rlibmd client: one request in flight per
+// client, over one TCP connection. It is safe for concurrent use (a
+// mutex serializes requests); callers that want request concurrency —
+// which is what makes server-side coalescing kick in — should open
+// several clients.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	buf     []byte
+	readBuf []byte
+	nextID  uint32
+	timeout time.Duration
+}
+
+// Dial connects to an rlibmd server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with an explicit dial timeout, also used as the
+// per-request I/O deadline.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // latency over throughput: frames are small
+	}
+	return &Client{
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 64<<10),
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		timeout: timeout,
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req.ID = c.nextID
+	out, err := AppendRequest(c.buf[:0], req)
+	if err != nil {
+		return nil, err
+	}
+	c.buf = out
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if _, err := c.bw.Write(out); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	frame, buf, err := readFrame(c.br, c.readBuf, DefaultMaxFrame)
+	c.readBuf = buf
+	if err != nil {
+		return nil, err
+	}
+	resp, err := DecodeResponse(frame)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("server: response id %d for request %d", resp.ID, req.ID)
+	}
+	return resp, nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip(&Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("server: ping status %s", StatusText(resp.Status))
+	}
+	return nil
+}
+
+// EvalBits evaluates the named function over raw bit patterns in the
+// given representation. It returns the result bits and the server
+// status; callers must treat any status other than StatusOK (notably
+// StatusBusy) as "no results". The error covers transport problems
+// only.
+func (c *Client) EvalBits(typ uint8, name string, bits []uint32) ([]uint32, uint8, error) {
+	resp, err := c.roundTrip(&Request{Op: OpEval, Type: typ, Name: name, Bits: bits})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Status != StatusOK {
+		return nil, resp.Status, nil
+	}
+	if len(resp.Bits) != len(bits) {
+		return nil, 0, fmt.Errorf("server: %d results for %d inputs", len(resp.Bits), len(bits))
+	}
+	return resp.Bits, StatusOK, nil
+}
+
+// EvalFloat32 evaluates the named float32 function over xs into dst
+// (allocated when nil). Non-OK statuses surface as errors here; use
+// EvalBits to handle BUSY with backoff.
+func (c *Client) EvalFloat32(name string, dst, xs []float32) ([]float32, error) {
+	bits := make([]uint32, len(xs))
+	for i, x := range xs {
+		bits[i] = math.Float32bits(x)
+	}
+	out, status, err := c.EvalBits(TFloat32, name, bits)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, fmt.Errorf("server: %s(%d values): %s", name, len(xs), StatusText(status))
+	}
+	if dst == nil {
+		dst = make([]float32, len(xs))
+	}
+	for i, b := range out {
+		dst[i] = math.Float32frombits(b)
+	}
+	return dst, nil
+}
+
+// EvalPosit32 evaluates the named posit32 function over ps into dst
+// (allocated when nil).
+func (c *Client) EvalPosit32(name string, dst, ps []posit32.Posit) ([]posit32.Posit, error) {
+	bits := make([]uint32, len(ps))
+	for i, p := range ps {
+		bits[i] = uint32(p)
+	}
+	out, status, err := c.EvalBits(TPosit32, name, bits)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, fmt.Errorf("server: %s(%d values): %s", name, len(ps), StatusText(status))
+	}
+	if dst == nil {
+		dst = make([]posit32.Posit, len(ps))
+	}
+	for i, b := range out {
+		dst[i] = posit32.Posit(b)
+	}
+	return dst, nil
+}

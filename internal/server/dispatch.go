@@ -1,0 +1,296 @@
+package server
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlibm32/bfloat16"
+	"rlibm32/float16"
+	"rlibm32/internal/libm"
+	"rlibm32/posit16"
+	"rlibm32/posit32"
+	"rlibm32/posit32/positmath"
+
+	rlibm "rlibm32"
+)
+
+// batchKey identifies one dispatch queue: a (representation, function)
+// pair.
+type batchKey struct {
+	typ  uint8
+	name string
+}
+
+// evalFunc evaluates a batch of raw bit patterns: dst[i] =
+// f(src[i]) in the key's representation. len(dst) == len(src).
+type evalFunc func(dst, src []uint32)
+
+// evalChunk sizes the stack-resident conversion buffers between wire
+// bit patterns and the kernels' element types (matches the kernels'
+// own internal chunking).
+const evalChunk = 256
+
+// wrapFloat32 adapts an rlibm batch kernel to bit-pattern slices.
+func wrapFloat32(f func(dst, xs []float32)) evalFunc {
+	return func(dst, src []uint32) {
+		var xs, ys [evalChunk]float32
+		for off := 0; off < len(src); off += evalChunk {
+			n := min(len(src)-off, evalChunk)
+			for j := 0; j < n; j++ {
+				xs[j] = math.Float32frombits(src[off+j])
+			}
+			f(ys[:n], xs[:n])
+			for j := 0; j < n; j++ {
+				dst[off+j] = math.Float32bits(ys[j])
+			}
+		}
+	}
+}
+
+// wrapPosit32 adapts a positmath batch kernel; posits already are
+// their bit patterns, so the conversion is a cast.
+func wrapPosit32(f func(dst, ps []posit32.Posit)) evalFunc {
+	return func(dst, src []uint32) {
+		var ps, qs [evalChunk]posit32.Posit
+		for off := 0; off < len(src); off += evalChunk {
+			n := min(len(src)-off, evalChunk)
+			for j := 0; j < n; j++ {
+				ps[j] = posit32.Posit(src[off+j])
+			}
+			f(qs[:n], ps[:n])
+			for j := 0; j < n; j++ {
+				dst[off+j] = uint32(qs[j])
+			}
+		}
+	}
+}
+
+// wrap16 adapts a scalar 16-bit function (the half-width libraries
+// have no slice kernels; at 2^16 inputs their whole domain fits in
+// cache and the scalar path is already table-speed).
+func wrap16(f func(uint16) uint16) evalFunc {
+	return func(dst, src []uint32) {
+		for i, b := range src {
+			dst[i] = uint32(f(uint16(b)))
+		}
+	}
+}
+
+// buildEvaluators constructs the dispatch table for every generated
+// implementation, keyed off the libm registry — no hand-maintained
+// function list, so a regenerated library is served automatically.
+func buildEvaluators() map[batchKey]evalFunc {
+	out := make(map[batchKey]evalFunc)
+	for _, e := range libm.Registry() {
+		code, ok := TypeCode(e.Variant)
+		if !ok {
+			continue
+		}
+		key := batchKey{typ: code, name: e.Name}
+		switch e.Variant {
+		case libm.VariantFloat32:
+			if f, ok := rlibm.FuncSlice(e.Name); ok {
+				out[key] = wrapFloat32(f)
+			}
+		case libm.VariantPosit32:
+			if f, ok := positmath.FuncSlice(e.Name); ok {
+				out[key] = wrapPosit32(f)
+			}
+		case libm.VariantBfloat16:
+			if f, ok := bfloat16.Func(e.Name); ok {
+				out[key] = wrap16(func(b uint16) uint16 { return f(bfloat16.FromBits(b)).Bits() })
+			}
+		case libm.VariantFloat16:
+			if f, ok := float16.Func(e.Name); ok {
+				out[key] = wrap16(func(b uint16) uint16 { return f(float16.FromBits(b)).Bits() })
+			}
+		case libm.VariantPosit16:
+			if f, ok := posit16.Func(e.Name); ok {
+				out[key] = wrap16(func(b uint16) uint16 { return f(posit16.FromBits(b)).Bits() })
+			}
+		}
+	}
+	return out
+}
+
+// pending is one caller's slice of a future coalesced batch.
+type pending struct {
+	src  []uint32
+	dst  []uint32 // subslice of the batch result buffer, valid once done closes
+	done chan struct{}
+}
+
+// queue accumulates pending requests for one batchKey between worker
+// pickups. scheduled is true while a wakeup for this queue is either
+// in the work channel or owned by a worker that has not finished
+// draining it — the invariant that keeps at most one signal per queue
+// in flight, which is what lets the work channel be sized at one slot
+// per key and never block a submitter.
+type queue struct {
+	key       batchKey
+	mu        sync.Mutex
+	pend      []*pending
+	scheduled bool
+}
+
+// dispatcher owns the coalescing queues and the bounded worker pool.
+//
+// Coalescing happens by contention: a submit appends to its key's
+// queue and wakes a worker; while every worker is busy evaluating,
+// later submits keep appending, and whichever worker next drains the
+// queue takes them all as one batch. Under light load batches are
+// whatever arrived (often a single request, dispatched immediately —
+// no added latency); under heavy load batches grow toward maxBatch and
+// the per-request overhead amortizes away. This is the server-side
+// analogue of the paper's observation that the generated tables are
+// fastest when the dispatch cost is spread over many evaluations.
+type dispatcher struct {
+	eval        map[batchKey]evalFunc
+	queues      map[batchKey]*queue
+	work        chan *queue
+	workers     int
+	maxBatch    int
+	maxInflight int64
+	inflight    atomic.Int64 // values admitted but not yet evaluated
+	m           *Metrics
+	wg          sync.WaitGroup
+}
+
+func newDispatcher(eval map[batchKey]evalFunc, workers, maxBatch int, maxInflight int64, m *Metrics) *dispatcher {
+	d := &dispatcher{
+		eval:        eval,
+		queues:      make(map[batchKey]*queue, len(eval)),
+		work:        make(chan *queue, len(eval)),
+		workers:     workers,
+		maxBatch:    maxBatch,
+		maxInflight: maxInflight,
+		m:           m,
+	}
+	for k := range eval {
+		d.queues[k] = &queue{key: k}
+	}
+	for i := 0; i < workers; i++ {
+		d.wg.Add(1)
+		go d.worker()
+	}
+	return d
+}
+
+// submit queues src for evaluation and blocks until the coalesced
+// batch containing it has been evaluated. It returns the result bits
+// and StatusOK, or nil and an error status (StatusUnknownFunc for a
+// key outside the registry, StatusBusy when admitting the request
+// would exceed the inflight bound — the caller sheds load instead of
+// queueing without limit).
+func (d *dispatcher) submit(key batchKey, src []uint32) ([]uint32, uint8) {
+	q, ok := d.queues[key]
+	if !ok {
+		if TypeWidth(key.typ) == 0 {
+			return nil, StatusUnknownType
+		}
+		return nil, StatusUnknownFunc
+	}
+	n := int64(len(src))
+	if n == 0 {
+		return nil, StatusOK
+	}
+	if d.inflight.Add(n) > d.maxInflight {
+		d.inflight.Add(-n)
+		if fm := d.m.forKey(key); fm != nil {
+			fm.Busy.Add(1)
+		}
+		return nil, StatusBusy
+	}
+	p := &pending{src: src, done: make(chan struct{})}
+	q.mu.Lock()
+	q.pend = append(q.pend, p)
+	wake := !q.scheduled
+	if wake {
+		q.scheduled = true
+	}
+	q.mu.Unlock()
+	if wake {
+		d.work <- q // never blocks: ≤1 signal per queue, cap = #queues
+	}
+	<-p.done
+	return p.dst, StatusOK
+}
+
+// worker drains queues: it takes up to maxBatch values of pending
+// requests from a woken queue, concatenates them, runs the batch
+// kernel once, and hands each caller its subslice of the results. If
+// the queue still holds work after the grab, the signal is re-armed
+// *before* evaluating, so another worker can batch the remainder
+// concurrently — a hot key is not serialized onto one core.
+func (d *dispatcher) worker() {
+	defer d.wg.Done()
+	for q := range d.work {
+		q.mu.Lock()
+		if len(q.pend) == 0 {
+			q.scheduled = false
+			q.mu.Unlock()
+			continue
+		}
+		// Take whole pendings up to maxBatch values (always at least
+		// one, so an oversized single request still runs).
+		take, vals := 0, 0
+		for take < len(q.pend) && (take == 0 || vals+len(q.pend[take].src) <= d.maxBatch) {
+			vals += len(q.pend[take].src)
+			take++
+		}
+		batch := q.pend[:take:take]
+		q.pend = q.pend[take:]
+		resignal := len(q.pend) > 0
+		if !resignal {
+			q.pend = nil // release the drained backing array
+			q.scheduled = false
+		}
+		q.mu.Unlock()
+		if resignal {
+			d.work <- q // hand the remainder to another worker
+		}
+		d.runBatch(q.key, batch, vals)
+	}
+}
+
+// runBatch evaluates one coalesced batch and publishes the results.
+func (d *dispatcher) runBatch(key batchKey, batch []*pending, vals int) {
+	src := make([]uint32, 0, vals)
+	for _, p := range batch {
+		src = append(src, p.src...)
+	}
+	dst := make([]uint32, vals)
+	d.eval[key](dst, src)
+	off := 0
+	for _, p := range batch {
+		p.dst = dst[off : off+len(p.src)]
+		off += len(p.src)
+		close(p.done)
+	}
+	d.m.Batches.Add(1)
+	d.m.BatchedValues.Add(uint64(vals))
+	d.inflight.Add(-int64(vals))
+}
+
+// shutdown waits for all admitted work to finish, then stops the
+// workers. The server guarantees no new submits arrive before calling
+// this (connections are drained first), so inflight can only fall;
+// once it reaches zero no queue holds pendings and no wakeups can be
+// enqueued, making close(work) safe.
+func (d *dispatcher) shutdown(ctx context.Context) error {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for d.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	close(d.work)
+	d.wg.Wait()
+	return nil
+}

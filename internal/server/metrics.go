@@ -1,0 +1,168 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// counts requests with latency in [2^(i-1), 2^i) ns (bucket 0 is
+// <1 ns), which spans sub-nanosecond to ~17 s.
+const histBuckets = 35
+
+// histogram is a lock-free power-of-two latency histogram.
+type histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	i := 0
+	for v := ns; v > 0; v >>= 1 {
+		i++
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+}
+
+// quantile returns an upper bound (the bucket's upper edge) for the
+// q-quantile latency in nanoseconds. With power-of-two buckets the
+// answer is within 2x of the true quantile — the right resolution for
+// a p50/p99 dashboard, at the cost of two atomic adds per request.
+func (h *histogram) quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return uint64(1) << uint(i)
+		}
+	}
+	return uint64(1) << (histBuckets - 1)
+}
+
+// funcMetrics is the per-(type, function) counter block.
+type funcMetrics struct {
+	Requests atomic.Uint64 // eval requests accepted for this key
+	Values   atomic.Uint64 // total values evaluated
+	Busy     atomic.Uint64 // requests shed with StatusBusy
+	lat      histogram     // request latency (submit → results ready)
+}
+
+// Metrics aggregates server-wide and per-function counters. The
+// per-key map is built once at construction (from the libm registry),
+// so readers never need a lock.
+type Metrics struct {
+	byKey map[batchKey]*funcMetrics
+
+	Conns         atomic.Int64  // currently open connections
+	Accepted      atomic.Uint64 // connections accepted since start
+	Requests      atomic.Uint64 // eval requests (all keys)
+	Malformed     atomic.Uint64 // malformed frames (connection closed)
+	ErrFrames     atomic.Uint64 // error responses sent (any non-OK status)
+	Batches       atomic.Uint64 // coalesced batches dispatched to kernels
+	BatchedValues atomic.Uint64 // values across all dispatched batches
+}
+
+func newMetrics(keys []batchKey) *Metrics {
+	m := &Metrics{byKey: make(map[batchKey]*funcMetrics, len(keys))}
+	for _, k := range keys {
+		m.byKey[k] = &funcMetrics{}
+	}
+	return m
+}
+
+// forKey returns the counter block for a dispatch key (nil for keys
+// outside the registry — callers count those under ErrFrames only).
+func (m *Metrics) forKey(k batchKey) *funcMetrics { return m.byKey[k] }
+
+// Snapshot renders every counter as a plain map, the shape expvar
+// wants. Percentiles are computed from the histograms at read time.
+func (m *Metrics) Snapshot() map[string]any {
+	perFunc := make(map[string]any, len(m.byKey))
+	keys := make([]batchKey, 0, len(m.byKey))
+	for k := range m.byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].typ != keys[j].typ {
+			return keys[i].typ < keys[j].typ
+		}
+		return keys[i].name < keys[j].name
+	})
+	for _, k := range keys {
+		fm := m.byKey[k]
+		if fm.Requests.Load() == 0 && fm.Busy.Load() == 0 {
+			continue
+		}
+		entry := map[string]any{
+			"requests": fm.Requests.Load(),
+			"values":   fm.Values.Load(),
+			"busy":     fm.Busy.Load(),
+			"p50_ns":   fm.lat.quantile(0.50),
+			"p99_ns":   fm.lat.quantile(0.99),
+		}
+		if n := fm.lat.count.Load(); n > 0 {
+			entry["mean_ns"] = fm.lat.sumNs.Load() / n
+		}
+		perFunc[TypeVariant(k.typ)+"/"+k.name] = entry
+	}
+	out := map[string]any{
+		"conns":          m.Conns.Load(),
+		"accepted":       m.Accepted.Load(),
+		"requests":       m.Requests.Load(),
+		"malformed":      m.Malformed.Load(),
+		"error_frames":   m.ErrFrames.Load(),
+		"batches":        m.Batches.Load(),
+		"batched_values": m.BatchedValues.Load(),
+		"func":           perFunc,
+	}
+	if b := m.Batches.Load(); b > 0 {
+		out["values_per_batch"] = float64(m.BatchedValues.Load()) / float64(b)
+	}
+	return out
+}
+
+// publishOnce guards the process-global expvar name: expvar.Publish
+// panics on duplicates, and tests construct many servers.
+var publishOnce atomic.Bool
+
+// Publish exports the metrics under the expvar name "rlibmd". Only the
+// first server in a process wins the global name; later servers are
+// still readable through AdminHandler, which closes over the instance.
+func (m *Metrics) Publish() {
+	if publishOnce.CompareAndSwap(false, true) {
+		expvar.Publish("rlibmd", expvar.Func(func() any { return m.Snapshot() }))
+	}
+}
+
+// AdminHandler serves the observability surface: /debug/vars with this
+// server's counters (plus the process-global expvars) and the standard
+// /debug/pprof endpoints.
+func (m *Metrics) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,331 @@
+// Package server implements rlibmd: a batched correctly rounded
+// evaluation service over the generated libraries in this repository.
+//
+// The wire protocol is a compact length-prefixed binary framing over
+// TCP. A request names a function and a representation and carries a
+// vector of raw bit patterns; the response returns the corresponding
+// result bit patterns, so correctness is bit-exact end to end — the
+// bytes on the wire are exactly the values the library computes, with
+// no text round-trips.
+//
+// Frame layout (all integers little-endian):
+//
+//	request:  u32 len | u8 ver | u8 op | u8 type | u8 nameLen |
+//	          u32 id | u32 count | name[nameLen] | values[count*width]
+//	response: u32 len | u8 ver | u8 status | u8 type | u8 0 |
+//	          u32 id | u32 count | values[count*width]
+//
+// len counts every byte after the length field itself. width is the
+// representation's encoding width: 4 bytes for float32 and posit32,
+// 2 bytes for bfloat16, float16 and posit16. Values travel as raw bit
+// patterns (math.Float32bits for float32, the posit encoding for
+// posits, the 16-bit encodings for the half-width types); 16-bit
+// values occupy the low 16 bits of their Request/Response Bits entry.
+//
+// Inside the daemon, concurrent small requests for the same
+// (function, type) are coalesced into large batches before hitting the
+// EvalSlice kernels — see dispatch.go — and overload is shed with an
+// explicit StatusBusy instead of unbounded queueing.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"rlibm32/internal/libm"
+)
+
+// ProtoVersion is the wire protocol version byte.
+const ProtoVersion = 1
+
+// reqHeaderLen / respHeaderLen count the fixed bytes after the length
+// prefix.
+const (
+	reqHeaderLen  = 12
+	respHeaderLen = 12
+)
+
+// DefaultMaxFrame bounds the payload of a single frame (1 MiB: a
+// 256k-value float32 batch, far beyond the coalescer's flush size).
+const DefaultMaxFrame = 1 << 20
+
+// Opcodes.
+const (
+	OpEval uint8 = 1 // evaluate a vector of bit patterns
+	OpPing uint8 = 2 // liveness/readiness probe; echoes an OK response
+)
+
+// Type codes: the wire encoding of a representation.
+const (
+	TFloat32  uint8 = 1
+	TPosit32  uint8 = 2
+	TBfloat16 uint8 = 3
+	TFloat16  uint8 = 4
+	TPosit16  uint8 = 5
+)
+
+// Status codes returned in responses.
+const (
+	StatusOK          uint8 = 0
+	StatusBusy        uint8 = 1 // load shed: retry later
+	StatusUnknownFunc uint8 = 2
+	StatusUnknownType uint8 = 3
+	StatusMalformed   uint8 = 4 // framing/header error; connection closes
+	StatusTooLarge    uint8 = 5 // frame exceeds the server's max; connection closes
+	StatusShutdown    uint8 = 6 // server is draining
+)
+
+// StatusText renders a status code for logs and error messages.
+func StatusText(s uint8) string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusBusy:
+		return "BUSY"
+	case StatusUnknownFunc:
+		return "UNKNOWN_FUNC"
+	case StatusUnknownType:
+		return "UNKNOWN_TYPE"
+	case StatusMalformed:
+		return "MALFORMED"
+	case StatusTooLarge:
+		return "TOO_LARGE"
+	case StatusShutdown:
+		return "SHUTDOWN"
+	}
+	return fmt.Sprintf("STATUS(%d)", s)
+}
+
+// TypeWidth returns the encoding width in bytes of a wire type code,
+// or 0 if the code is unknown.
+func TypeWidth(t uint8) int {
+	switch t {
+	case TFloat32, TPosit32:
+		return 4
+	case TBfloat16, TFloat16, TPosit16:
+		return 2
+	}
+	return 0
+}
+
+// TypeVariant maps a wire type code to the libm registry variant name
+// ("" if unknown).
+func TypeVariant(t uint8) string {
+	switch t {
+	case TFloat32:
+		return libm.VariantFloat32
+	case TPosit32:
+		return libm.VariantPosit32
+	case TBfloat16:
+		return libm.VariantBfloat16
+	case TFloat16:
+		return libm.VariantFloat16
+	case TPosit16:
+		return libm.VariantPosit16
+	}
+	return ""
+}
+
+// TypeCode maps a libm variant name to its wire type code.
+func TypeCode(variant string) (uint8, bool) {
+	switch variant {
+	case libm.VariantFloat32:
+		return TFloat32, true
+	case libm.VariantPosit32:
+		return TPosit32, true
+	case libm.VariantBfloat16:
+		return TBfloat16, true
+	case libm.VariantFloat16:
+		return TFloat16, true
+	case libm.VariantPosit16:
+		return TPosit16, true
+	}
+	return 0, false
+}
+
+// Request is a decoded request frame. Bits holds the raw input bit
+// patterns; 16-bit types use the low 16 bits of each entry.
+type Request struct {
+	ID   uint32
+	Op   uint8
+	Type uint8
+	Name string
+	Bits []uint32
+}
+
+// Response is a decoded response frame.
+type Response struct {
+	ID     uint32
+	Status uint8
+	Type   uint8
+	Bits   []uint32
+}
+
+// Decode errors (the handler maps them to error frames/close).
+var (
+	ErrBadVersion = errors.New("server: unsupported protocol version")
+	ErrBadFrame   = errors.New("server: malformed frame")
+	ErrFrameSize  = errors.New("server: frame exceeds maximum size")
+)
+
+// appendValues encodes bit patterns at the given width.
+func appendValues(dst []byte, bits []uint32, width int) []byte {
+	if width == 2 {
+		for _, b := range bits {
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(b))
+		}
+		return dst
+	}
+	for _, b := range bits {
+		dst = binary.LittleEndian.AppendUint32(dst, b)
+	}
+	return dst
+}
+
+// decodeValues decodes count bit patterns at the given width into a
+// fresh slice.
+func decodeValues(payload []byte, count, width int) []uint32 {
+	bits := make([]uint32, count)
+	if width == 2 {
+		for i := range bits {
+			bits[i] = uint32(binary.LittleEndian.Uint16(payload[2*i:]))
+		}
+		return bits
+	}
+	for i := range bits {
+		bits[i] = binary.LittleEndian.Uint32(payload[4*i:])
+	}
+	return bits
+}
+
+// AppendRequest appends the wire encoding of req to dst and returns
+// the extended slice. 16-bit values are masked to their low 16 bits.
+func AppendRequest(dst []byte, req *Request) ([]byte, error) {
+	width := TypeWidth(req.Type)
+	if width == 0 && (req.Op == OpEval || len(req.Bits) > 0) {
+		return dst, fmt.Errorf("%w: unknown type code %d", ErrBadFrame, req.Type)
+	}
+	if len(req.Name) > 255 {
+		return dst, fmt.Errorf("%w: function name too long", ErrBadFrame)
+	}
+	frameLen := reqHeaderLen + len(req.Name) + len(req.Bits)*width
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameLen))
+	dst = append(dst, ProtoVersion, req.Op, req.Type, uint8(len(req.Name)))
+	dst = binary.LittleEndian.AppendUint32(dst, req.ID)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Bits)))
+	dst = append(dst, req.Name...)
+	return appendValues(dst, req.Bits, width), nil
+}
+
+// DecodeRequest parses a request frame (the bytes after the length
+// prefix). It validates the version, opcode, type code and that the
+// payload length is exactly consistent with nameLen and count.
+func DecodeRequest(frame []byte) (*Request, error) {
+	if len(frame) < reqHeaderLen {
+		return nil, fmt.Errorf("%w: request header truncated (%d bytes)", ErrBadFrame, len(frame))
+	}
+	if frame[0] != ProtoVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, frame[0], ProtoVersion)
+	}
+	req := &Request{
+		Op:   frame[1],
+		Type: frame[2],
+		ID:   binary.LittleEndian.Uint32(frame[4:]),
+	}
+	nameLen := int(frame[3])
+	count := int(binary.LittleEndian.Uint32(frame[8:]))
+	switch req.Op {
+	case OpPing:
+		if nameLen != 0 || count != 0 || len(frame) != reqHeaderLen {
+			return nil, fmt.Errorf("%w: ping carries a payload", ErrBadFrame)
+		}
+		return req, nil
+	case OpEval:
+	default:
+		return nil, fmt.Errorf("%w: unknown opcode %d", ErrBadFrame, req.Op)
+	}
+	width := TypeWidth(req.Type)
+	if width == 0 {
+		return nil, fmt.Errorf("%w: unknown type code %d", ErrBadFrame, req.Type)
+	}
+	if want := reqHeaderLen + nameLen + count*width; len(frame) != want {
+		return nil, fmt.Errorf("%w: frame length %d, header implies %d", ErrBadFrame, len(frame), want)
+	}
+	req.Name = string(frame[reqHeaderLen : reqHeaderLen+nameLen])
+	req.Bits = decodeValues(frame[reqHeaderLen+nameLen:], count, width)
+	return req, nil
+}
+
+// AppendResponse appends the wire encoding of resp to dst. A response
+// with an unknown type code must carry no values (error responses echo
+// the request's type code verbatim, which may be garbage).
+func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
+	width := TypeWidth(resp.Type)
+	if width == 0 && len(resp.Bits) > 0 {
+		return dst, fmt.Errorf("%w: values with unknown type code %d", ErrBadFrame, resp.Type)
+	}
+	frameLen := respHeaderLen + len(resp.Bits)*width
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameLen))
+	dst = append(dst, ProtoVersion, resp.Status, resp.Type, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, resp.ID)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Bits)))
+	return appendValues(dst, resp.Bits, width), nil
+}
+
+// DecodeResponse parses a response frame (the bytes after the length
+// prefix).
+func DecodeResponse(frame []byte) (*Response, error) {
+	if len(frame) < respHeaderLen {
+		return nil, fmt.Errorf("%w: response header truncated (%d bytes)", ErrBadFrame, len(frame))
+	}
+	if frame[0] != ProtoVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, frame[0], ProtoVersion)
+	}
+	resp := &Response{
+		Status: frame[1],
+		Type:   frame[2],
+		ID:     binary.LittleEndian.Uint32(frame[4:]),
+	}
+	count := int(binary.LittleEndian.Uint32(frame[8:]))
+	width := TypeWidth(resp.Type)
+	if count == 0 {
+		if len(frame) != respHeaderLen {
+			return nil, fmt.Errorf("%w: empty response with %d trailing bytes", ErrBadFrame, len(frame)-respHeaderLen)
+		}
+		return resp, nil
+	}
+	if width == 0 {
+		return nil, fmt.Errorf("%w: values with unknown type code %d", ErrBadFrame, resp.Type)
+	}
+	if want := respHeaderLen + count*width; len(frame) != want {
+		return nil, fmt.Errorf("%w: frame length %d, header implies %d", ErrBadFrame, len(frame), want)
+	}
+	resp.Bits = decodeValues(frame[respHeaderLen:], count, width)
+	return resp, nil
+}
+
+// readFrame reads one length-prefixed frame body into buf (grown as
+// needed) and returns the body. A length above maxFrame returns
+// ErrFrameSize without consuming the body — the connection must be
+// closed, since the stream position is no longer trustworthy.
+func readFrame(r *bufio.Reader, buf []byte, maxFrame int) ([]byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > maxFrame {
+		return nil, buf, fmt.Errorf("%w: %d > %d", ErrFrameSize, n, maxFrame)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, buf, fmt.Errorf("%w: body truncated: %v", ErrBadFrame, err)
+	}
+	return buf, buf, nil
+}

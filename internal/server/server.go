@@ -1,0 +1,293 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes one Server. Zero values take the defaults noted on each
+// field.
+type Config struct {
+	// Addr is the TCP listen address for ListenAndServe
+	// (default "127.0.0.1:7043").
+	Addr string
+	// Workers bounds the evaluation worker pool (default GOMAXPROCS).
+	Workers int
+	// MaxFrame bounds a single frame's payload in bytes
+	// (default DefaultMaxFrame). Oversized frames close the connection.
+	MaxFrame int
+	// MaxBatch caps the values in one coalesced kernel dispatch
+	// (default 1 << 16).
+	MaxBatch int
+	// MaxInflight bounds the values admitted but not yet evaluated,
+	// across all functions; beyond it requests are shed with
+	// StatusBusy (default 1 << 20).
+	MaxInflight int64
+	// ReadTimeout is the per-frame read deadline — it bounds both idle
+	// connections and half-written frames (default 2 min).
+	ReadTimeout time.Duration
+	// WriteTimeout is the per-response write deadline (default 30 s).
+	WriteTimeout time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Addr == "" {
+		out.Addr = "127.0.0.1:7043"
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.MaxFrame <= 0 {
+		out.MaxFrame = DefaultMaxFrame
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 1 << 16
+	}
+	if out.MaxInflight <= 0 {
+		out.MaxInflight = 1 << 20
+	}
+	if out.ReadTimeout <= 0 {
+		out.ReadTimeout = 2 * time.Minute
+	}
+	if out.WriteTimeout <= 0 {
+		out.WriteTimeout = 30 * time.Second
+	}
+	return out
+}
+
+// Server is the rlibmd daemon: it accepts connections, decodes
+// requests, funnels them through the coalescing dispatcher, and writes
+// bit-exact responses.
+type Server struct {
+	cfg  Config
+	disp *dispatcher
+	m    *Metrics
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining atomic.Bool
+	connWG   sync.WaitGroup
+}
+
+// New builds a Server (it does not listen yet). The dispatch table is
+// derived from the libm implementation registry.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	eval := buildEvaluators()
+	keys := make([]batchKey, 0, len(eval))
+	for k := range eval {
+		keys = append(keys, k)
+	}
+	m := newMetrics(keys)
+	return &Server{
+		cfg:   cfg,
+		disp:  newDispatcher(eval, cfg.Workers, cfg.MaxBatch, cfg.MaxInflight, m),
+		m:     m,
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Metrics exposes the server's counters (for the admin listener and
+// tests).
+func (s *Server) Metrics() *Metrics { return s.m }
+
+// Addr returns the bound listen address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// ListenAndServe listens on cfg.Addr and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// ErrServerClosed is returned by Serve after Shutdown, mirroring
+// net/http semantics.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections on ln until Shutdown closes it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.m.Accepted.Add(1)
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown gracefully drains the server: stop accepting, wake blocked
+// readers so connections finish their in-flight request and close,
+// wait for every connection, then stop the workers once all admitted
+// batches have been evaluated. It returns ctx.Err() if the context
+// expires first (remaining connections are then closed hard).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	now := time.Now()
+	for c := range s.conns {
+		// Wake readers blocked on the next frame; handlers that are
+		// mid-request finish and write their response first.
+		c.SetReadDeadline(now)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+	return s.disp.shutdown(ctx)
+}
+
+// handleConn runs one connection: read frame, evaluate, respond.
+// Requests on a connection are processed in order, one at a time;
+// concurrency (and hence batching) comes from many connections.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	s.m.Conns.Add(1)
+	defer s.m.Conns.Add(-1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var readBuf, writeBuf []byte
+	for {
+		// Deadline first, then the draining check: Shutdown sets
+		// draining before stamping an immediate deadline on every
+		// connection, so whichever of the two writes lands last, a
+		// handler either sees draining here or wakes from the read.
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		if s.draining.Load() {
+			return
+		}
+		frame, buf, err := readFrame(br, readBuf, s.cfg.MaxFrame)
+		readBuf = buf
+		if err != nil {
+			// Clean EOF / closed / deadline: just close. A protocol
+			// violation gets a final error frame before closing (the
+			// stream position is untrustworthy afterwards, so the
+			// connection cannot continue either way).
+			if errors.Is(err, ErrFrameSize) {
+				s.m.Malformed.Add(1)
+				s.writeResponse(conn, bw, &writeBuf, &Response{Status: StatusTooLarge})
+			} else if errors.Is(err, ErrBadFrame) {
+				s.m.Malformed.Add(1)
+				s.writeResponse(conn, bw, &writeBuf, &Response{Status: StatusMalformed})
+			}
+			return
+		}
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			s.m.Malformed.Add(1)
+			s.writeResponse(conn, bw, &writeBuf, &Response{Status: StatusMalformed})
+			return
+		}
+		resp := s.process(req)
+		if !s.writeResponse(conn, bw, &writeBuf, resp) {
+			return
+		}
+	}
+}
+
+// process executes one decoded request and builds its response.
+func (s *Server) process(req *Request) *Response {
+	resp := &Response{ID: req.ID, Type: req.Type}
+	if req.Op == OpPing {
+		resp.Status = StatusOK
+		return resp
+	}
+	if s.draining.Load() {
+		resp.Status = StatusShutdown
+		s.m.ErrFrames.Add(1)
+		return resp
+	}
+	key := batchKey{typ: req.Type, name: req.Name}
+	fm := s.m.forKey(key)
+	s.m.Requests.Add(1)
+	start := time.Now()
+	bits, status := s.disp.submit(key, req.Bits)
+	resp.Status = status
+	if status != StatusOK {
+		s.m.ErrFrames.Add(1)
+		return resp
+	}
+	if fm != nil {
+		fm.Requests.Add(1)
+		fm.Values.Add(uint64(len(req.Bits)))
+		fm.lat.observe(time.Since(start))
+	}
+	resp.Bits = bits
+	return resp
+}
+
+// writeResponse encodes and flushes one response under the write
+// deadline; it reports whether the connection is still usable.
+func (s *Server) writeResponse(conn net.Conn, bw *bufio.Writer, scratch *[]byte, resp *Response) bool {
+	out, err := AppendResponse((*scratch)[:0], resp)
+	if err != nil {
+		// Unencodable response (error status echoing a garbage type
+		// code with values — cannot happen for error paths, which
+		// carry no values). Drop the type code and report the error.
+		out, _ = AppendResponse((*scratch)[:0], &Response{ID: resp.ID, Status: resp.Status})
+	}
+	*scratch = out
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if _, err := bw.Write(out); err != nil {
+		return false
+	}
+	return bw.Flush() == nil
+}

@@ -148,3 +148,35 @@ func TestEvalSliceErrors(t *testing.T) {
 		t.Errorf("short dst: err = %v", err)
 	}
 }
+
+// TestSliceLengthContract pins the documented dst/ps contract of the
+// posit batch entry points, mirroring the float32 test: len-0 no-op,
+// up-front panic (no partial writes) on short dst.
+func TestSliceLengthContract(t *testing.T) {
+	positmath.ExpSlice(nil, nil)
+	if err := positmath.EvalSlice("exp", nil, nil); err != nil {
+		t.Errorf("EvalSlice len-0: err = %v", err)
+	}
+	dst := []posit32.Posit{7, 7}
+	if err := positmath.EvalSlice("exp", dst, []posit32.Posit{posit32.One, posit32.One, posit32.One}); err != positmath.ErrShortDst {
+		t.Fatalf("short dst: err = %v", err)
+	}
+	if dst[0] != 7 || dst[1] != 7 {
+		t.Errorf("EvalSlice wrote into dst before erroring: %v", dst)
+	}
+	for _, name := range positmath.Names() {
+		f, _ := positmath.FuncSlice(name)
+		dst := []posit32.Posit{7, 7}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: short dst did not panic", name)
+				}
+			}()
+			f(dst, []posit32.Posit{posit32.One, posit32.One, posit32.One})
+		}()
+		if dst[0] != 7 || dst[1] != 7 {
+			t.Errorf("%s: partial write before panic: %v", name, dst)
+		}
+	}
+}

@@ -274,3 +274,43 @@ func TestEvalSliceErrors(t *testing.T) {
 		t.Error("FuncSlice(nope) should be absent")
 	}
 }
+
+// TestSliceLengthContract pins the documented dst/xs contract of the
+// batch entry points: a zero-length batch is a no-op (including with a
+// nil dst), and a dst shorter than xs panics up front — before any
+// element of dst has been written — rather than mid-batch.
+func TestSliceLengthContract(t *testing.T) {
+	// len-0 no-op, nil dst allowed.
+	rlibm.ExpSlice(nil, nil)
+	if err := rlibm.EvalSlice("exp", nil, nil); err != nil {
+		t.Errorf("EvalSlice len-0: err = %v", err)
+	}
+	// EvalSlice len-0 still validates the name.
+	if err := rlibm.EvalSlice("nope", nil, nil); err != rlibm.ErrUnknownFunc {
+		t.Errorf("EvalSlice len-0 unknown name: err = %v", err)
+	}
+	// Short dst: EvalSlice errors without touching dst.
+	dst := []float32{7, 7}
+	if err := rlibm.EvalSlice("exp", dst, []float32{1, 2, 3}); err != rlibm.ErrShortDst {
+		t.Fatalf("short dst: err = %v", err)
+	}
+	if dst[0] != 7 || dst[1] != 7 {
+		t.Errorf("EvalSlice wrote into dst before erroring: %v", dst)
+	}
+	// Short dst: direct slice call panics before writing anything.
+	for _, name := range rlibm.Names() {
+		f, _ := rlibm.FuncSlice(name)
+		dst := []float32{7, 7}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: short dst did not panic", name)
+				}
+			}()
+			f(dst, []float32{1, 2, 3})
+		}()
+		if dst[0] != 7 || dst[1] != 7 {
+			t.Errorf("%s: partial write before panic: %v", name, dst)
+		}
+	}
+}
