@@ -16,6 +16,7 @@ import (
 	"rlibm32/internal/bigfp"
 	"rlibm32/internal/oracle"
 	"rlibm32/internal/perf"
+	"rlibm32/internal/telemetry"
 	"rlibm32/posit32"
 	"rlibm32/posit32/positmath"
 )
@@ -111,6 +112,54 @@ func BenchmarkBatch1024(b *testing.B) {
 				sink = out[0]
 			})
 		}
+	}
+}
+
+// BenchmarkEvalSlice1024 measures the telemetry tax on the named batch
+// entry point: Off is the default silent mode (one atomic pointer load
+// per batch), On counts batches/values into registry counters. The
+// acceptance bar is Off within 2% of On-never-enabled and zero
+// allocations either way.
+func BenchmarkEvalSlice1024(b *testing.B) {
+	xs := perf.Float32Inputs("exp", 1024)
+	out := make([]float32, 1024)
+	b.Run("TelemetryOff", func(b *testing.B) {
+		rlibm.DisableTelemetry()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := rlibm.EvalSlice("exp", out, xs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sink = out[0]
+	})
+	b.Run("TelemetryOn", func(b *testing.B) {
+		rlibm.EnableTelemetry(telemetry.NewRegistry())
+		defer rlibm.DisableTelemetry()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := rlibm.EvalSlice("exp", out, xs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sink = out[0]
+	})
+}
+
+// TestEvalSliceTelemetryNoAllocs pins the zero-allocation contract of
+// the batch path in both telemetry modes (the benchmark reports it;
+// this fails the build if it regresses).
+func TestEvalSliceTelemetryNoAllocs(t *testing.T) {
+	xs := perf.Float32Inputs("exp", 1024)
+	out := make([]float32, 1024)
+	rlibm.DisableTelemetry()
+	if n := testing.AllocsPerRun(100, func() { rlibm.EvalSlice("exp", out, xs) }); n != 0 {
+		t.Errorf("telemetry off: %v allocs per EvalSlice batch, want 0", n)
+	}
+	rlibm.EnableTelemetry(telemetry.NewRegistry())
+	defer rlibm.DisableTelemetry()
+	if n := testing.AllocsPerRun(100, func() { rlibm.EvalSlice("exp", out, xs) }); n != 0 {
+		t.Errorf("telemetry on: %v allocs per EvalSlice batch, want 0", n)
 	}
 }
 

@@ -7,11 +7,12 @@
 //
 //	rlibmd -addr 127.0.0.1:7043 -admin 127.0.0.1:7044
 //
-// The admin listener exports expvar counters (per-function request/
-// value/busy counts, latency percentiles, coalescing stats) at
-// /debug/vars and the standard pprof endpoints at /debug/pprof/.
-// SIGINT/SIGTERM trigger a graceful drain: in-flight requests finish,
-// then the process exits.
+// The admin listener exports Prometheus text metrics (per-function
+// request/value/busy counts, latency histograms, coalescing stats,
+// oracle cache and Ziv-ladder counters) at /metrics, the same data in
+// legacy expvar shape at /debug/vars, and the standard pprof endpoints
+// at /debug/pprof/. SIGINT/SIGTERM trigger a graceful drain: in-flight
+// requests finish, then the process exits.
 package main
 
 import (
@@ -25,7 +26,9 @@ import (
 	"syscall"
 	"time"
 
+	rlibm "rlibm32"
 	"rlibm32/internal/libm"
+	"rlibm32/internal/oracle"
 	"rlibm32/internal/server"
 )
 
@@ -51,6 +54,12 @@ func main() {
 		WriteTimeout: *writeTimeout,
 	})
 	s.Metrics().Publish()
+	// Everything the process observes lands on one registry: the oracle
+	// cache/Ziv counters (exercised by any server-side verification
+	// tooling) and the EvalSlice batch counters join the server's own
+	// series on /metrics.
+	oracle.EnableTelemetry(s.Metrics().Registry())
+	rlibm.EnableTelemetry(s.Metrics().Registry())
 
 	if *admin != "" {
 		adminSrv := &http.Server{Addr: *admin, Handler: s.Metrics().AdminHandler()}

@@ -4,11 +4,16 @@
 // Usage:
 //
 //	go run ./cmd/rlibmgen [-type float|posit|all] [-func name]
-//	  [-inputs N] [-validate N] [-out dir] [-stats]
+//	  [-inputs N] [-validate N] [-out dir] [-table]
+//	  [-stats out.json] [-trace out.json]
 //
-// With -stats it prints the Table 3 reproduction (generation time,
+// With -table it prints the Table 3 reproduction (generation time,
 // reduced-input counts, piecewise polynomial counts, degree, terms)
-// for the functions it generates.
+// for the functions it generates. -stats writes the same information
+// machine-readably (plus LP and oracle effort counters) as JSON, and
+// -trace records a Chrome trace_event timeline of the whole run
+// (CEGIS rounds, per-sub-domain LP solves, oracle passes) loadable in
+// chrome://tracing or Perfetto.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"rlibm32/internal/gentool"
 	"rlibm32/internal/libm"
 	"rlibm32/internal/rangered"
+	"rlibm32/internal/telemetry"
 )
 
 func main() {
@@ -36,12 +42,18 @@ func main() {
 	inputs := flag.Int("inputs", 100000, "generation sample size per function")
 	validateN := flag.Int("validate", 0, "validation sample size (default 2x inputs)")
 	out := flag.String("out", "internal/libm", "output directory for generated Go files")
-	stats := flag.Bool("stats", false, "print the Table 3 style generation report")
+	table := flag.Bool("table", false, "print the Table 3 style generation report")
+	statsOut := flag.String("stats", "", "write a machine-readable per-function generation summary (JSON) to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file (open in chrome://tracing or Perfetto)")
 	extra := flag.String("extra", "", "file of extra input bit patterns to constrain on (one 0x%08x float32 pattern per line, e.g. a rlibmverify -dump file)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	timing := flag.Bool("timing", false, "print a per-phase wall-clock breakdown for every generated function")
 	jobs := flag.Int("jobs", 1, "generate this many functions concurrently (output is deterministic for any value)")
 	flag.Parse()
+
+	var tr *telemetry.Trace
+	if *traceOut != "" {
+		tr = telemetry.NewTrace(telemetry.DefaultTraceEvents)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -93,6 +105,7 @@ func main() {
 			Variant:         v,
 			InputsPerFunc:   *inputs,
 			ValidatePerFunc: *validateN,
+			Trace:           tr,
 		}
 		// Constrain on the correctness harness's own lattice too (the
 		// paper constrains on every input it tests; this is the sampled
@@ -141,12 +154,6 @@ func main() {
 				}
 				fmt.Fprintf(os.Stderr, "[%s] %s ok (%.1fs, %v polys, %d LP calls, %d rounds)\n",
 					v, name, time.Since(t0).Seconds(), res.Stats.NumPolys, res.Stats.LPCalls, res.Stats.OuterRounds)
-				if *timing {
-					st := res.Stats
-					fmt.Fprintf(os.Stderr, "  timing %s: oracle %.1fs + polygen %.1fs + validate %.1fs (total %.1fs); LP: presolve %d/%d, warm %d, cold %d\n",
-						name, st.OracleTime.Seconds(), st.PolyTime.Seconds(), st.ValidateTime.Seconds(), st.GenTime.Seconds(),
-						st.PresolveAccepted, st.PresolveAccepted+st.PresolveRejected, st.WarmSolves, st.ColdSolves)
-				}
 				results[i] = res
 			}(i, name)
 		}
@@ -168,6 +175,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s (%d KB)\n", path, len(src)/1024)
 		}
 	}
+	// runStats is this run's output only; allStats additionally absorbs
+	// the checked-in stats of variants not regenerated below.
+	runStats := append([]gentool.Stats(nil), allStats...)
 	if *fn == "" {
 		// Merge with the stats of variants not regenerated this run, so
 		// a single-variant invocation does not clobber the others.
@@ -189,9 +199,92 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *stats {
-		printStats(allStats)
+	if *statsOut != "" {
+		if err := writeStatsJSON(*statsOut, runStats); err != nil {
+			fmt.Fprintf(os.Stderr, "rlibmgen: -stats: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote stats %s\n", *statsOut)
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = tr.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlibmgen: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace %s\n", *traceOut)
+	}
+	if *table {
+		printStats(runStats)
+	}
+}
+
+// funcStats is the -stats JSON schema: one entry per generated
+// function, stable snake_case keys, durations in seconds.
+type funcStats struct {
+	Name             string  `json:"name"`
+	Type             string  `json:"type"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	OracleSeconds    float64 `json:"oracle_seconds"`
+	PolySeconds      float64 `json:"polygen_seconds"`
+	ValidateSeconds  float64 `json:"validate_seconds"`
+	Inputs           int     `json:"inputs"`
+	ReducedInputs    []int   `json:"reduced_inputs"`
+	NumPolys         []int   `json:"num_polys"`
+	Degree           []int   `json:"degree"`
+	NumTerms         []int   `json:"num_terms"`
+	OuterRounds      int     `json:"outer_rounds"`
+	Mismatches       int     `json:"mismatches"`
+	LPCalls          int     `json:"lp_calls"`
+	Pivots           int     `json:"lp_pivots"`
+	PresolveAccepted int     `json:"lp_presolve_accepted"`
+	PresolveRejected int     `json:"lp_presolve_rejected"`
+	WarmSolves       int     `json:"lp_warm_solves"`
+	ColdSolves       int     `json:"lp_cold_solves"`
+	OracleQueries    int     `json:"oracle_queries"`
+	MaxZivPrec       uint    `json:"max_ziv_precision_bits"`
+}
+
+// writeStatsJSON writes the machine-readable generation summary for
+// this run's functions.
+func writeStatsJSON(path string, all []gentool.Stats) error {
+	out := make([]funcStats, 0, len(all))
+	for _, s := range all {
+		out = append(out, funcStats{
+			Name:             s.Name,
+			Type:             s.Variant,
+			WallSeconds:      s.GenTime.Seconds(),
+			OracleSeconds:    s.OracleTime.Seconds(),
+			PolySeconds:      s.PolyTime.Seconds(),
+			ValidateSeconds:  s.ValidateTime.Seconds(),
+			Inputs:           s.Inputs,
+			ReducedInputs:    s.ReducedInputs,
+			NumPolys:         s.NumPolys,
+			Degree:           s.Degree,
+			NumTerms:         s.NumTerms,
+			OuterRounds:      s.OuterRounds,
+			Mismatches:       s.Mismatches,
+			LPCalls:          s.LPCalls,
+			Pivots:           s.Pivots,
+			PresolveAccepted: s.PresolveAccepted,
+			PresolveRejected: s.PresolveRejected,
+			WarmSolves:       s.WarmSolves,
+			ColdSolves:       s.ColdSolves,
+			OracleQueries:    s.OracleQueries,
+			MaxZivPrec:       s.MaxZivPrec,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // readExtraBits parses a -dump style file: one float32 bit pattern per

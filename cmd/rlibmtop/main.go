@@ -1,0 +1,296 @@
+// Command rlibmtop is a terminal dashboard for a running rlibmd: it
+// polls the admin listener's /metrics endpoint (Prometheus text
+// exposition) and renders live per-function throughput and latency
+// percentiles, coalescing efficiency, and oracle cache effectiveness.
+//
+//	rlibmtop -addr 127.0.0.1:7044            # live, redraws every 2s
+//	rlibmtop -addr 127.0.0.1:7044 -once      # one snapshot, no ANSI
+//
+// Rates and interval percentiles are computed from deltas between two
+// consecutive scrapes, so the first live frame appears after one
+// interval. Percentiles come from the server's power-of-two latency
+// histograms via midpoint recovery (±50% bucket error bound — see
+// internal/telemetry).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"rlibm32/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7044", "rlibmd admin address (host:port) or full metrics URL")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	once := flag.Bool("once", false, "print one snapshot and exit (totals instead of rates)")
+	flag.Parse()
+
+	url := *addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url + "/metrics"
+	}
+
+	prev, err := scrape(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rlibmtop: %v\n", err)
+		os.Exit(1)
+	}
+	if *once {
+		render(os.Stdout, url, prev, nil, 0)
+		return
+	}
+	for {
+		time.Sleep(*interval)
+		cur, err := scrape(url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlibmtop: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print("\x1b[H\x1b[2J") // home + clear
+		render(os.Stdout, url, cur, prev, cur.at.Sub(prev.at).Seconds())
+		prev = cur
+	}
+}
+
+// snap is one scrape, indexed by metric name.
+type snap struct {
+	at time.Time
+	by map[string][]telemetry.Sample
+}
+
+func scrape(url string) (*snap, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	samples, err := telemetry.ParseText(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", url, err)
+	}
+	s := &snap{at: time.Now(), by: make(map[string][]telemetry.Sample)}
+	for _, sm := range samples {
+		s.by[sm.Name] = append(s.by[sm.Name], sm)
+	}
+	return s, nil
+}
+
+// value returns the first sample of name whose labels include match.
+func (s *snap) value(name string, match map[string]string) (float64, bool) {
+	for _, sm := range s.by[name] {
+		if labelsMatch(sm.Labels, match) {
+			return sm.Value, true
+		}
+	}
+	return 0, false
+}
+
+// hist collects the cumulative le→count buckets of one histogram
+// series (identified by its labels minus "le").
+func (s *snap) hist(name string, match map[string]string) map[float64]float64 {
+	buckets := make(map[float64]float64)
+	for _, sm := range s.by[name+"_bucket"] {
+		if !labelsMatch(sm.Labels, match) {
+			continue
+		}
+		le, ok := parseLe(sm.Labels["le"])
+		if !ok {
+			continue
+		}
+		buckets[le] = sm.Value
+	}
+	return buckets
+}
+
+func labelsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func parseLe(s string) (float64, bool) {
+	if s == "+Inf" {
+		return math.Inf(1), true
+	}
+	var v float64
+	_, err := fmt.Sscanf(s, "%g", &v)
+	return v, err == nil
+}
+
+// sub returns cur-prev bucket-wise (interval histogram); prev may be
+// nil for totals.
+func sub(cur, prev map[float64]float64) map[float64]float64 {
+	if prev == nil {
+		return cur
+	}
+	out := make(map[float64]float64, len(cur))
+	for le, v := range cur {
+		out[le] = v - prev[le]
+	}
+	return out
+}
+
+// funcKey identifies one per-function series.
+type funcKey struct{ typ, fn string }
+
+func render(w io.Writer, url string, cur, prev *snap, dt float64) {
+	rate := func(v float64) float64 {
+		if dt > 0 {
+			return v / dt
+		}
+		return v
+	}
+	unit := "total"
+	if dt > 0 {
+		unit = "/s"
+	}
+
+	conns, _ := cur.value("rlibmd_connections", nil)
+	draining, _ := cur.value("rlibmd_draining", nil)
+	state := "serving"
+	if draining != 0 {
+		state = "DRAINING"
+	}
+	fmt.Fprintf(w, "rlibmd %s  %s  conns %.0f  %s\n\n",
+		url, state, conns, cur.at.Format("15:04:05"))
+
+	// Per-function table, ordered by traffic.
+	keys := map[funcKey]bool{}
+	for _, sm := range cur.by["rlibmd_func_values_total"] {
+		keys[funcKey{sm.Labels["type"], sm.Labels["func"]}] = true
+	}
+	type row struct {
+		k               funcKey
+		req, vals, busy float64
+		p50, p99        float64
+		hasLat          bool
+	}
+	var rows []row
+	for k := range keys {
+		match := map[string]string{"type": k.typ, "func": k.fn}
+		r := row{k: k}
+		cv, _ := cur.value("rlibmd_func_values_total", match)
+		cq, _ := cur.value("rlibmd_func_requests_total", match)
+		cb, _ := cur.value("rlibmd_func_busy_total", match)
+		if prev != nil {
+			pv, _ := prev.value("rlibmd_func_values_total", match)
+			pq, _ := prev.value("rlibmd_func_requests_total", match)
+			pb, _ := prev.value("rlibmd_func_busy_total", match)
+			cv, cq, cb = cv-pv, cq-pq, cb-pb
+		}
+		r.req, r.vals, r.busy = rate(cq), rate(cv), rate(cb)
+		lat := cur.hist("rlibmd_request_latency_ns", match)
+		if prev != nil {
+			lat = sub(lat, prev.hist("rlibmd_request_latency_ns", match))
+		}
+		if len(lat) > 0 {
+			r.p50 = telemetry.HistQuantile(lat, 0.50)
+			r.p99 = telemetry.HistQuantile(lat, 0.99)
+			r.hasLat = r.p50 > 0 || r.p99 > 0
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].vals != rows[j].vals {
+			return rows[i].vals > rows[j].vals
+		}
+		ki, kj := rows[i].k, rows[j].k
+		if ki.typ != kj.typ {
+			return ki.typ < kj.typ
+		}
+		return ki.fn < kj.fn
+	})
+	fmt.Fprintf(w, "%-8s %-7s %12s %12s %10s %10s %10s\n",
+		"func", "type", "req"+unit, "vals"+unit, "p50", "p99", "busy"+unit)
+	shown := 0
+	for _, r := range rows {
+		if prev != nil && r.req == 0 && r.vals == 0 && shown >= 10 {
+			continue // live view: hide long-idle functions past the top 10
+		}
+		p50, p99 := "-", "-"
+		if r.hasLat {
+			p50, p99 = fmtDur(r.p50), fmtDur(r.p99)
+		}
+		fmt.Fprintf(w, "%-8s %-7s %12s %12s %10s %10s %10s\n",
+			r.k.fn, r.k.typ, fmtCount(r.req), fmtCount(r.vals), p50, p99, fmtCount(r.busy))
+		shown++
+	}
+
+	// Coalescing efficiency.
+	batches := delta(cur, prev, "rlibmd_batches_total")
+	bvals := delta(cur, prev, "rlibmd_batched_values_total")
+	shed := delta(cur, prev, "rlibmd_shed_values_total")
+	avg := 0.0
+	if batches > 0 {
+		avg = bvals / batches
+	}
+	bs := cur.hist("rlibmd_batch_size", nil)
+	if prev != nil {
+		bs = sub(bs, prev.hist("rlibmd_batch_size", nil))
+	}
+	fmt.Fprintf(w, "\ncoalescing: %s batches%s, avg %.0f vals/batch (p50 %.0f, p99 %.0f)  shed %s vals%s\n",
+		fmtCount(rate(batches)), unit, avg,
+		telemetry.HistQuantile(bs, 0.50), telemetry.HistQuantile(bs, 0.99),
+		fmtCount(rate(shed)), unit)
+
+	// Oracle cache (cumulative ratio is the meaningful number).
+	hits, _ := cur.value("rlibm_oracle_cache_hits_total", nil)
+	misses, _ := cur.value("rlibm_oracle_cache_misses_total", nil)
+	if hits+misses > 0 {
+		fmt.Fprintf(w, "oracle cache: %.2f%% hit (%s hits, %s misses)\n",
+			100*hits/(hits+misses), fmtCount(hits), fmtCount(misses))
+	} else {
+		fmt.Fprintf(w, "oracle cache: idle\n")
+	}
+}
+
+func delta(cur, prev *snap, name string) float64 {
+	c, _ := cur.value(name, nil)
+	if prev == nil {
+		return c
+	}
+	p, _ := prev.value(name, nil)
+	return c - p
+}
+
+// fmtCount renders a count or rate compactly (1234 -> 1.2K).
+func fmtCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// fmtDur renders nanoseconds human-readably.
+func fmtDur(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -26,6 +27,8 @@ import (
 	"time"
 
 	"rlibm32/internal/exhaust"
+	"rlibm32/internal/oracle"
+	"rlibm32/internal/telemetry"
 
 	rlibm "rlibm32"
 )
@@ -43,6 +46,7 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress progress lines")
 		maxShow   = flag.Int("show", 10, "mismatches to print per function")
 		dump      = flag.String("dump", "", "append refuted input bit patterns to this file (rlibmgen -extra format)")
+		metrics   = flag.String("metrics", "", "serve Prometheus sweep-progress metrics on this address (e.g. :9100) for the duration of the run")
 	)
 	flag.Parse()
 	if *funcName == "" {
@@ -65,6 +69,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// A multi-hour full sweep is worth watching remotely: -metrics
+	// serves /metrics with per-shard progress and the oracle cache and
+	// Ziv-ladder counters the escalation path exercises.
+	var reg *telemetry.Registry
+	if *metrics != "" {
+		reg = telemetry.NewRegistry()
+		oracle.EnableTelemetry(reg)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "rlibmverify: -metrics: %v\n", err)
+			}
+		}()
+	}
+
 	failed := false
 	interrupted := false
 	for _, name := range names {
@@ -74,6 +94,7 @@ func main() {
 			Limit: limit, GuardUlps: *guard,
 			CheckpointPath: ckptPath(*ckpt, name, len(names) > 1),
 			Resume:         *resume,
+			Metrics:        reg,
 		}
 		if !*quiet {
 			cfg.Progress = func(s exhaust.Snapshot) {

@@ -40,6 +40,7 @@ import (
 	"rlibm32/internal/checks"
 	"rlibm32/internal/fp"
 	"rlibm32/internal/oracle"
+	"rlibm32/internal/telemetry"
 
 	rlibm "rlibm32"
 )
@@ -88,6 +89,11 @@ type Config struct {
 	// end.
 	Progress      func(Snapshot)
 	ProgressEvery time.Duration
+	// Metrics, when non-nil, exports sweep progress (completed shards,
+	// checked inputs, oracle escalations, mismatches) as counters
+	// labelled by func/lib on this registry, so a long sweep can be
+	// scraped remotely. Nil costs nothing.
+	Metrics *telemetry.Registry
 
 	// sliceOverride substitutes the library slice kernel (tests inject
 	// deliberately wrong implementations with it).
@@ -216,6 +222,10 @@ type collector struct {
 	progEvery   time.Duration
 	lastProg    time.Time
 	saveErr     error
+
+	// Scrape counters (nil handles are no-ops when Config.Metrics is
+	// unset).
+	mShards, mInputs, mEscalated, mMismatched *telemetry.Counter
 }
 
 func (c *collector) snapshotLocked(total uint64) Snapshot {
@@ -253,6 +263,10 @@ func (c *collector) merge(s uint64, acc *shardAcc, e *engine) {
 	st.markDone(s)
 	c.shardsDone++
 	c.sinceSave++
+	c.mShards.Add(1)
+	c.mInputs.Add(acc.inputs)
+	c.mEscalated.Add(acc.escalated)
+	c.mMismatched.Add(acc.mismatched)
 	var snap Snapshot
 	emit := false
 	// The final snapshot is emitted by Run; merge only throttles.
@@ -326,6 +340,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		shardsDone: preShards, startInputs: state.Inputs,
 		start: time.Now(), progress: cfg.Progress, progEvery: progEvery,
 		lastProg: time.Now(),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		lbl := []string{"func", e.cfg.Func, "lib", e.cfg.Lib}
+		col.mShards = reg.Counter("rlibm_exhaust_shards_done_total",
+			"completed sweep shards", lbl...)
+		col.mInputs = reg.Counter("rlibm_exhaust_inputs_total",
+			"inputs checked by this process", lbl...)
+		col.mEscalated = reg.Counter("rlibm_exhaust_escalated_total",
+			"inputs that consulted the arbitrary-precision oracle", lbl...)
+		col.mMismatched = reg.Counter("rlibm_exhaust_mismatches_total",
+			"oracle-refuted library results", lbl...)
 	}
 
 	workers := cfg.Workers

@@ -27,6 +27,7 @@ import (
 	"rlibm32/internal/polygen"
 	"rlibm32/internal/rangered"
 	"rlibm32/internal/redint"
+	"rlibm32/internal/telemetry"
 )
 
 // debugGen enables mismatch diagnostics (set via RLIBMGEN_DEBUG=1).
@@ -62,6 +63,10 @@ type Config struct {
 	// FeasibilityOnly switches the LP back to the paper's pure
 	// feasibility setting (ablation).
 	FeasibilityOnly bool
+	// Trace, when non-nil, records the generation timeline (oracle
+	// passes, CEGIS outer rounds, per-sub-domain LP solves, validation)
+	// as spans for rlibmgen -trace. Nil is free.
+	Trace *telemetry.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +109,18 @@ type Stats struct {
 	PresolveRejected int
 	WarmSolves       int
 	ColdSolves       int
+	Pivots           int // exact-tableau pivot operations
+	// OracleQueries counts correctly-rounded target lookups issued by
+	// this function's generation and validation passes (cache hits
+	// included).
+	OracleQueries int
+	// MaxZivPrec is the highest Ziv-ladder precision (bits) any oracle
+	// evaluation needed while this function generated; 0 means every
+	// evaluation was decided by the float64 tier-0 guard or the cache.
+	// Exact when one function generates at a time (rlibmgen -jobs=1);
+	// with concurrent generation the process-wide ladder counters
+	// overlap and the value is an upper bound.
+	MaxZivPrec uint
 }
 
 // Result is one generated function implementation.
@@ -194,12 +211,25 @@ func GenerateFunc(name string, cfg Config) (*Result, error) {
 	}
 	tgt := cfg.Variant.Target()
 	nf := len(fam.Funcs())
+	tc := cfg.Trace.NewContext("gen:" + name)
+	ziv0 := oracle.Ziv()
+	oracleQueries := 0
 
 	gen := sampleOrdinals(tgt, fam, cfg.InputsPerFunc, cfg.EdgeWindow, 0)
 	gen = appendExtra(gen, fam, cfg.ExtraInputs)
 	cons := make([][]polygen.Constraint, nf)
 	oracleStart := time.Now()
+	osp := tc.Start("oracle.constraints")
+	cs0 := oracle.Stats()
 	newCons, err := constraintsFor(fam, tgt, gen, cfg.Workers)
+	if osp != nil {
+		cs1 := oracle.Stats()
+		osp.Arg("inputs", len(gen)).
+			Arg("cache_hits", int64(cs1.Hits-cs0.Hits)).
+			Arg("ziv_runs", int64(cs1.Misses-cs0.Misses))
+		osp.End()
+	}
+	oracleQueries += len(gen)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
@@ -218,6 +248,10 @@ func GenerateFunc(name string, cfg Config) (*Result, error) {
 	val := sampleOrdinals(tgt, fam, cfg.ValidatePerFunc, cfg.EdgeWindow, 1)
 	for round := 0; round < cfg.MaxOuterRounds; round++ {
 		rounds = round + 1
+		rsp := tc.Start("cegis.outer")
+		if rsp != nil {
+			rsp.Arg("round", round)
+		}
 		res.Pieces = make([]*polygen.Piecewise, nf)
 		res.Stats.ReducedInputs = res.Stats.ReducedInputs[:0]
 		polyStart := time.Now()
@@ -237,24 +271,46 @@ func GenerateFunc(name string, cfg Config) (*Result, error) {
 				SampleThreshold: cfg.SampleThreshold,
 				FeasibilityOnly: cfg.FeasibilityOnly,
 				Workers:         cfg.Workers,
+				Trace:           cfg.Trace,
 			}
+			psp := tc.Start("polygen.generate")
+			p0 := pstats
 			pw, st, err := polygen.Generate(merged, pcfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s (reduced func %d): %w", name, i, err)
 			}
 			pstats.Merge(st)
+			if psp != nil {
+				psp.Arg("reduced_func", i).Arg("constraints", len(merged)).
+					Arg("polys", pw.NumPolynomials()).
+					Arg("lp_calls", pstats.LPCalls-p0.LPCalls).
+					Arg("pivots", pstats.Pivots-p0.Pivots).
+					Arg("presolve_accepted", pstats.PresolveAccepted-p0.PresolveAccepted).
+					Arg("exact_solves", pstats.WarmSolves+pstats.ColdSolves-p0.WarmSolves-p0.ColdSolves)
+				psp.End()
+			}
 			res.Pieces[i] = pw
 			res.Stats.ReducedInputs = append(res.Stats.ReducedInputs, len(merged))
 		}
 		polyTime += time.Since(polyStart)
 		// Outer validation on an independent sample; feed back failures.
 		valStart := time.Now()
+		vsp := tc.Start("validate")
 		bad, err := validate(res, tgt, val, cfg.Workers)
+		if vsp != nil {
+			vsp.Arg("inputs", len(val)).Arg("mismatches", len(bad))
+			vsp.End()
+		}
+		oracleQueries += len(val)
 		validateTime += time.Since(valStart)
 		if err != nil {
 			return nil, err
 		}
 		mismatches = len(bad)
+		if rsp != nil {
+			rsp.Arg("mismatches", mismatches)
+		}
+		rsp.End()
 		if mismatches == 0 {
 			break
 		}
@@ -271,7 +327,13 @@ func GenerateFunc(name string, cfg Config) (*Result, error) {
 			}
 		}
 		oracleStart = time.Now()
+		osp := tc.Start("oracle.constraints")
 		extra, err := constraintsFor(fam, tgt, bad, cfg.Workers)
+		if osp != nil {
+			osp.Arg("inputs", len(bad)).Arg("refeed", true)
+			osp.End()
+		}
+		oracleQueries += len(bad)
 		if err != nil {
 			return nil, err
 		}
@@ -297,6 +359,9 @@ func GenerateFunc(name string, cfg Config) (*Result, error) {
 		PresolveRejected: pstats.PresolveRejected,
 		WarmSolves:       pstats.WarmSolves,
 		ColdSolves:       pstats.ColdSolves,
+		Pivots:           pstats.Pivots,
+		OracleQueries:    oracleQueries,
+		MaxZivPrec:       oracle.Ziv().Sub(ziv0).MaxPrec(),
 	}
 	for _, pw := range res.Pieces {
 		n, deg, terms := 0, 0, 0

@@ -20,11 +20,12 @@ var errInfeasibleEq = errors.New("lp: infeasible equality system")
 // the pivot sequence is identical to the big.Rat tableau's: the two
 // engines return bit-identical answers.
 type itab struct {
-	m, n  int         // constraint rows, variable columns
-	a     [][]big.Int // (m+1) x (n+1): constraint rows + objective row; last col = rhs
-	q     big.Int     // common denominator (previous pivot); a[i][j]/q is the tableau value
-	basis []int       // basic variable per row
-	block []bool      // columns barred from entering (artificials in phase 2)
+	m, n   int         // constraint rows, variable columns
+	a      [][]big.Int // (m+1) x (n+1): constraint rows + objective row; last col = rhs
+	q      big.Int     // common denominator (previous pivot); a[i][j]/q is the tableau value
+	basis  []int       // basic variable per row
+	block  []bool      // columns barred from entering (artificials in phase 2)
+	pivots int         // pivot operations performed (telemetry)
 }
 
 func newItab(m, n int) *itab {
@@ -44,6 +45,7 @@ func newItab(m, n int) *itab {
 // exact (every stored entry is ± a subdeterminant of the initial
 // integer matrix, by the Edmonds/Bareiss identity).
 func (t *itab) pivot(row, col int) {
+	t.pivots++
 	p := new(big.Int).Set(&t.a[row][col])
 	ar := t.a[row]
 	qIsOne := t.q.CmpAbs(intOne) == 0
@@ -165,10 +167,11 @@ func (t *itab) minimize() error {
 // as shared-denominator numerators (π_i = piNum_i / piDen) so callers
 // can keep verifying in pure integer arithmetic; rats() converts.
 type intSolution struct {
-	obj   *big.Rat
-	x     []*big.Rat
-	piNum []big.Int
-	piDen big.Int
+	obj    *big.Rat
+	x      []*big.Rat
+	piNum  []big.Int
+	piDen  big.Int
+	pivots int // pivot operations this solve performed
 	// basis holds the optimal basis (one structural column index per
 	// row) for warm-starting a subsequent solve, or nil if an artificial
 	// remained basic.
@@ -340,7 +343,7 @@ func solveDyadic(a [][]dyad, b []dyad, cost []dyad, warm []int) (*intSolution, e
 	var lam2q big.Int
 	lam2q.Lsh(&t.q, uint(-costMin))
 
-	sol := &intSolution{obj: new(big.Rat)}
+	sol := &intSolution{obj: new(big.Rat), pivots: t.pivots}
 	sol.x = make([]*big.Rat, n)
 	for j := range sol.x {
 		sol.x[j] = new(big.Rat)

@@ -56,6 +56,7 @@ type SolverStats struct {
 	ColdSolves       int // exact solves from scratch (incl. warm-start retries)
 	PrunedConflicts  int // duplicate-X merges that proved infeasibility outright
 	MergedCons       int // constraints removed by dominance merging
+	Pivots           int // exact-tableau pivot operations (simplex + basis installs)
 }
 
 // Solver runs fitting queries with the fast paths layered in front of
@@ -171,6 +172,9 @@ func (s *Solver) Solve(p *Problem) (*Result, error) {
 		// A stale basis is a hint, never a requirement: re-solve cold.
 		sol, err = solveDyadic(a, b, cost, nil)
 		warm = nil
+	}
+	if sol != nil {
+		s.Stats.Pivots += sol.pivots
 	}
 	if warm != nil {
 		s.Stats.WarmSolves++

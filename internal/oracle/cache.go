@@ -116,6 +116,7 @@ func ResetCache() {
 	}
 	cacheHits.Store(0)
 	cacheMisses.Store(0)
+	resetZiv()
 }
 
 func cachedFloat32(f bigfp.Func, x float64) float32 {

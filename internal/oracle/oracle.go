@@ -140,24 +140,27 @@ func float32Uncached(f bigfp.Func, x float64) float32 {
 	// sweeps validated — and undecided bands fall through to the ladder.
 	if ref, ok := ref64[f]; ok && float64(float32(x)) == x {
 		if v, decided := RoundDecided32(ref(x), DefaultGuardUlps); decided {
+			noteTier0()
 			return v
 		}
 	}
 	s := zivPool.Get().(*zivScratch)
 	defer zivPool.Put(s)
 	var last float32
-	for _, p := range precisions {
+	for i, p := range precisions {
 		w := bigfp.EvalTo(&s.w, f, x, p)
 		lo, hi := s.band(w, p)
 		a, _ := lo.Float32()
 		b, _ := hi.Float32()
 		last = a
 		if a == b || (a != a && b != b) {
+			noteZiv(i)
 			return a
 		}
 	}
 	// The 400-bit band still straddles a rounding boundary: accept the
 	// center (matching the paper's oracle contract).
+	noteZivFallback()
 	return last
 }
 
@@ -175,16 +178,18 @@ func float64Uncached(f bigfp.Func, x float64) float64 {
 	s := zivPool.Get().(*zivScratch)
 	defer zivPool.Put(s)
 	var last float64
-	for _, p := range precisions {
+	for i, p := range precisions {
 		w := bigfp.EvalTo(&s.w, f, x, p)
 		lo, hi := s.band(w, p)
 		a, _ := lo.Float64()
 		b, _ := hi.Float64()
 		last = a
 		if a == b || (a != a && b != b) {
+			noteZiv(i)
 			return a
 		}
 	}
+	noteZivFallback()
 	return last
 }
 
@@ -201,16 +206,18 @@ func posit32Uncached(f bigfp.Func, x float64) posit32.Posit {
 	s := zivPool.Get().(*zivScratch)
 	defer zivPool.Put(s)
 	var last posit32.Posit
-	for _, p := range precisions {
+	for i, p := range precisions {
 		w := bigfp.EvalTo(&s.w, f, x, p)
 		lo, hi := s.band(w, p)
 		a := posit32.RoundBig(lo)
 		b := posit32.RoundBig(hi)
 		last = a
 		if a == b {
+			noteZiv(i)
 			return a
 		}
 	}
+	noteZivFallback()
 	return last
 }
 
@@ -246,15 +253,17 @@ func targetUncached(t interval.Target, f bigfp.Func, x float64) (float64, bool) 
 		}
 		return t.Round(y), true
 	}
-	for _, p := range precisions {
+	for i, p := range precisions {
 		w := bigfp.Eval(f, x, p)
 		lo, hi := errBand(w, p)
 		a, aok := t.RoundBig(lo)
 		b, bok := t.RoundBig(hi)
 		if aok && bok && t.SameResult(a, b) {
+			noteZiv(i)
 			return a, true
 		}
 	}
+	noteZivFallback()
 	w := bigfp.Eval(f, x, 400)
 	return t.RoundBig(w)
 }

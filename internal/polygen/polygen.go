@@ -23,6 +23,7 @@ import (
 	"rlibm32/internal/fp"
 	"rlibm32/internal/lp"
 	"rlibm32/internal/piecewise"
+	"rlibm32/internal/telemetry"
 )
 
 // Constraint requires the generated approximation to produce a value in
@@ -71,6 +72,15 @@ type Config struct {
 	// coefficient rows, and stats are merged in sub-domain order with
 	// the same first-failure cutoff the serial loop has.
 	Workers int
+	// Trace, when non-nil, records per-sub-domain and per-LP-solve
+	// spans (pivot counts, presolve vs exact outcomes) into per-worker
+	// trace contexts — the rlibmgen -trace timeline. Generation output
+	// is unaffected.
+	Trace *telemetry.Trace
+
+	// trace is the per-worker span context, plumbed by genPiecewise;
+	// external callers set Trace and leave this nil.
+	trace *telemetry.TraceContext
 }
 
 // withDefaults fills zero fields.
@@ -109,6 +119,7 @@ type Stats struct {
 	PresolveRejected int
 	WarmSolves       int
 	ColdSolves       int
+	Pivots           int // exact-tableau pivot operations across all solves
 }
 
 // Merge folds o into st.
@@ -121,6 +132,7 @@ func (st *Stats) Merge(o *Stats) {
 	st.PresolveRejected += o.PresolveRejected
 	st.WarmSolves += o.WarmSolves
 	st.ColdSolves += o.ColdSolves
+	st.Pivots += o.Pivots
 }
 
 // Piecewise is the generated approximation: per-sign piecewise tables.
@@ -331,7 +343,9 @@ func genPiecewise(cons []Constraint, groups []int, n, shift uint, mn, mx uint64,
 	res := make([]groupRes, nGroups)
 	var next, failMin atomic.Int64
 	failMin.Store(int64(nGroups))
-	work := func() {
+	work := func(tc *telemetry.TraceContext) {
+		wcfg := cfg
+		wcfg.trace = tc
 		for {
 			g := int(next.Add(1) - 1)
 			if g >= nGroups {
@@ -345,7 +359,15 @@ func genPiecewise(cons []Constraint, groups []int, n, shift uint, mn, mx uint64,
 				res[g].ok = true
 				continue
 			}
-			row, ok := GenPolynomial(gc, cfg, &res[g].st)
+			sp := tc.Start("subdomain")
+			row, ok := GenPolynomial(gc, wcfg, &res[g].st)
+			if sp != nil {
+				gs := &res[g].st
+				sp.Arg("split_bits", int(n)).Arg("group", g).
+					Arg("constraints", len(gc)).Arg("lp_calls", gs.LPCalls).
+					Arg("pivots", gs.Pivots).Arg("ok", ok)
+				sp.End()
+			}
 			res[g].ok = ok
 			if ok {
 				copy(coeffs[g*nt:], row)
@@ -365,14 +387,15 @@ func genPiecewise(cons []Constraint, groups []int, n, shift uint, mn, mx uint64,
 		workers = nGroups
 	}
 	if workers <= 1 {
-		work()
+		work(cfg.Trace.NewContext("polygen-w1"))
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
+			tc := cfg.Trace.NewContext(fmt.Sprintf("polygen-w%d", w+1))
 			go func() {
 				defer wg.Done()
-				work()
+				work(tc)
 			}()
 		}
 		wg.Wait()
@@ -445,6 +468,7 @@ func GenPolynomial(gc []Constraint, cfg Config, st *Stats) ([]float64, bool) {
 		st.PresolveRejected += solver.Stats.PresolveRejected
 		st.WarmSolves += solver.Stats.WarmSolves
 		st.ColdSolves += solver.Stats.ColdSolves
+		st.Pivots += solver.Stats.Pivots
 	}()
 	inSample := make(map[int]bool)
 	var sample []*sampleCon
@@ -477,8 +501,13 @@ func GenPolynomial(gc []Constraint, cfg Config, st *Stats) ([]float64, bool) {
 
 	refines := 0
 	for round := 0; ; round++ {
+		sp := cfg.trace.Start("cegis.round")
+		if sp != nil {
+			sp.Arg("round", round).Arg("sample", len(sample))
+		}
 		coeffs, ok := solveAndRefine(solver, lpc, sample, cfg, kind, &refines, st)
 		if !ok {
+			sp.End()
 			return nil, false
 		}
 		// Check against the entire sub-domain (Algorithm 4 lines 9-15).
@@ -489,6 +518,10 @@ func GenPolynomial(gc []Constraint, cfg Config, st *Stats) ([]float64, bool) {
 				violations = append(violations, i)
 			}
 		}
+		if sp != nil {
+			sp.Arg("violations", len(violations))
+		}
+		sp.End()
 		if len(violations) == 0 {
 			return coeffs, true
 		}
@@ -551,7 +584,26 @@ func solveAndRefine(solver *lp.Solver, lpc []Constraint, sample []*sampleCon, cf
 			prob.Cons = append(prob.Cons, c)
 		}
 		st.LPCalls++
+		var sp *telemetry.Span
+		var pre lp.SolverStats
+		if cfg.trace != nil {
+			pre = solver.Stats
+			sp = cfg.trace.Start("lp.solve")
+		}
 		res, err := solver.Solve(prob)
+		if sp != nil {
+			d := solver.Stats
+			sp.Arg("cons", len(prob.Cons)).Arg("pivots", d.Pivots-pre.Pivots)
+			switch {
+			case d.PresolveAccepted > pre.PresolveAccepted:
+				sp.Arg("engine", "presolve")
+			case d.WarmSolves > pre.WarmSolves:
+				sp.Arg("engine", "exact-warm")
+			case d.ColdSolves > pre.ColdSolves:
+				sp.Arg("engine", "exact-cold")
+			}
+			sp.End()
+		}
 		if err != nil || !res.Feasible {
 			return nil, false
 		}

@@ -199,6 +199,7 @@ func (d *dispatcher) submit(key batchKey, src []uint32) ([]uint32, uint8) {
 	}
 	if d.inflight.Add(n) > d.maxInflight {
 		d.inflight.Add(-n)
+		d.m.shedValues.Add(uint64(n))
 		if fm := d.m.forKey(key); fm != nil {
 			fm.Busy.Add(1)
 		}
@@ -272,6 +273,7 @@ func (d *dispatcher) runBatch(key batchKey, batch []*pending, vals int) {
 	}
 	d.m.Batches.Add(1)
 	d.m.BatchedValues.Add(uint64(vals))
+	d.m.batchSize.Observe(uint64(vals))
 	d.inflight.Add(-int64(vals))
 }
 

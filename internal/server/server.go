@@ -156,6 +156,8 @@ func (s *Server) Serve(ln net.Listener) error {
 // batches have been evaluated. It returns ctx.Err() if the context
 // expires first (remaining connections are then closed hard).
 func (s *Server) Shutdown(ctx context.Context) error {
+	drainStart := time.Now()
+	s.m.draining.Set(1)
 	s.draining.Store(true)
 	s.mu.Lock()
 	if s.ln != nil {
@@ -185,7 +187,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
 	}
-	return s.disp.shutdown(ctx)
+	err := s.disp.shutdown(ctx)
+	if err == nil {
+		s.m.draining.Set(0)
+		s.m.drains.Add(1)
+		s.m.drainNs.Set(time.Since(drainStart).Nanoseconds())
+	}
+	return err
 }
 
 // handleConn runs one connection: read frame, evaluate, respond.
@@ -268,7 +276,7 @@ func (s *Server) process(req *Request) *Response {
 	if fm != nil {
 		fm.Requests.Add(1)
 		fm.Values.Add(uint64(len(req.Bits)))
-		fm.lat.observe(time.Since(start))
+		fm.lat.ObserveDuration(time.Since(start))
 	}
 	resp.Bits = bits
 	return resp

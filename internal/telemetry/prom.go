@@ -1,0 +1,263 @@
+// Prometheus text-format exposition and a small parser for it.
+//
+// The renderer walks the registry under its lock at scrape time; the
+// data path never touches it. Histograms are emitted in the standard
+// cumulative _bucket/_sum/_count shape with power-of-two le bounds
+// (the inclusive integer upper edge of each bucket: 0, 1, 3, 7, ...),
+// so any Prometheus-compatible scraper can recompute quantiles.
+//
+// ParseText is the inverse used by cmd/rlibmtop and the format tests:
+// it parses the subset of the text format this package emits (which is
+// also the subset every real exporter emits — name{labels} value).
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in registration
+// order. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, name := range r.order {
+		f := r.fams[name]
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind.promType())
+		for _, ls := range f.order {
+			m := f.metrics[ls]
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, ls, m.(*Counter).Load())
+			case kindCounterFunc:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, ls, m.(func() uint64)())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, ls, m.(*Gauge).Load())
+			case kindGaugeFunc:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, ls,
+					strconv.FormatFloat(m.(func() float64)(), 'g', -1, 64))
+			case kindHistogram:
+				writeHistogram(bw, f.name, ls, m.(*Histogram))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative bucket series. Empty buckets are
+// skipped (except +Inf, which is mandatory) to keep the payload small:
+// cumulative counts make skipped buckets recoverable.
+func writeHistogram(w io.Writer, name, ls string, h *Histogram) {
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		b := h.Bucket(i)
+		if b == 0 {
+			continue
+		}
+		cum += b
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(ls, `le="`+strconv.FormatUint(BucketUpper(i), 10)+`"`), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(ls, `le="+Inf"`), h.Count())
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, ls, h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, ls, h.Count())
+}
+
+// mergeLabels appends extra (already rendered `k="v"`) into a rendered
+// label string.
+func mergeLabels(ls, extra string) string {
+	if ls == "" {
+		return "{" + extra + "}"
+	}
+	return ls[:len(ls)-1] + "," + extra + "}"
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format (for the /metrics route). Works on a nil registry (empty
+// exposition).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the label value (empty when absent).
+func (s Sample) Label(k string) string { return s.Labels[k] }
+
+// ParseText parses Prometheus text-format exposition: comment/blank
+// lines are skipped, every other line must be `name value` or
+// `name{k="v",...} value`. It returns an error on any malformed line,
+// which is what makes it useful as a format validator in tests and CI.
+func ParseText(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var out []Sample
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value: %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if s.Name == "" || !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad metric name in %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated labels: %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	// A timestamp after the value is permitted by the format.
+	if len(fields) != 1 && len(fields) != 2 {
+		return s, fmt.Errorf("want `value [timestamp]` after name, got %q", rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", fields[0])
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(in string, into map[string]string) error {
+	for len(in) > 0 {
+		eq := strings.Index(in, "=")
+		if eq < 0 {
+			return fmt.Errorf("label without '='")
+		}
+		k := strings.TrimSpace(in[:eq])
+		in = in[eq+1:]
+		if !strings.HasPrefix(in, `"`) {
+			return fmt.Errorf("unquoted label value")
+		}
+		in = in[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(in); i++ {
+			c := in[i]
+			if c == '\\' && i+1 < len(in) {
+				i++
+				switch in[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(in[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i == len(in) {
+			return fmt.Errorf("unterminated label value")
+		}
+		into[k] = val.String()
+		in = strings.TrimPrefix(strings.TrimSpace(in[i+1:]), ",")
+		in = strings.TrimSpace(in)
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// HistQuantile recomputes the q-quantile from parsed cumulative bucket
+// samples (the `<name>_bucket` series of one label set), using the
+// same midpoint rule as Histogram.Quantile. buckets maps the le bound
+// (as parsed float; +Inf included) to the cumulative count. Used by
+// rlibmtop on scraped data.
+func HistQuantile(buckets map[float64]float64, q float64) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	les := make([]float64, 0, len(buckets))
+	for le := range buckets {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	total := buckets[les[len(les)-1]]
+	if total <= 0 {
+		return 0
+	}
+	rank := q * total
+	if rank >= total {
+		rank = total - 1
+	}
+	prevLe := 0.0
+	for _, le := range les {
+		if buckets[le] > rank {
+			switch {
+			case le <= 0:
+				return 0
+			case le > 1<<62:
+				return prevLe + 1 // +Inf (overflow) bucket: lower edge
+			default:
+				// le is the inclusive integer upper edge 2^i - 1 of a
+				// power-of-two bucket [2^(i-1), 2^i); its midpoint is
+				// 1.5·2^(i-1) = 0.75·(le+1) regardless of which empty
+				// buckets the exposition skipped.
+				return 0.75 * (le + 1)
+			}
+		}
+		prevLe = le
+	}
+	return prevLe + 1
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusRoundTrip renders a populated registry and re-parses
+// it with ParseText, checking names, labels, values, and the
+// cumulative histogram shape.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "total requests").Add(7)
+	r.Counter("func_values_total", "per-func values", "type", "float32", "func", "exp").Add(42)
+	r.Gauge("conns", "open connections").Set(3)
+	r.CounterFunc("cache_hits_total", "hits", func() uint64 { return 99 })
+	r.GaugeFunc("hit_ratio", "ratio", func() float64 { return 0.75 })
+	h := r.Histogram("latency_ns", "latency", "func", "exp")
+	h.Observe(100) // bucket le=127
+	h.Observe(100)
+	h.Observe(5000) // bucket le=8191
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		"# TYPE latency_ns histogram",
+		"reqs_total 7",
+		`func_values_total{func="exp",type="float32"} 42`,
+		"conns 3",
+		"cache_hits_total 99",
+		"hit_ratio 0.75",
+		`latency_ns_bucket{func="exp",le="127"} 2`,
+		`latency_ns_bucket{func="exp",le="8191"} 3`,
+		`latency_ns_bucket{func="exp",le="+Inf"} 3`,
+		`latency_ns_sum{func="exp"} 5200`,
+		`latency_ns_count{func="exp"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v", err)
+	}
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		byKey[s.Name+"|"+s.Label("func")+"|"+s.Label("le")] = s.Value
+	}
+	if byKey["reqs_total||"] != 7 {
+		t.Errorf("parsed reqs_total = %v", byKey["reqs_total||"])
+	}
+	if byKey["func_values_total|exp|"] != 42 {
+		t.Errorf("parsed func_values_total = %v", byKey["func_values_total|exp|"])
+	}
+	if byKey["latency_ns_bucket|exp|+Inf"] != 3 {
+		t.Errorf("parsed +Inf bucket = %v", byKey["latency_ns_bucket|exp|+Inf"])
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here",
+		`name{unterminated="x" 1`,
+		"1leading_digit 5",
+		"name notanumber",
+	} {
+		if _, err := ParseText(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("ParseText accepted %q", bad)
+		}
+	}
+	ok := "# comment\n\nname 1 1700000000\nwith_ts{a=\"b\"} 2\n"
+	samples, err := ParseText(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("valid text rejected: %v", err)
+	}
+	if len(samples) != 2 {
+		t.Errorf("got %d samples, want 2", len(samples))
+	}
+}
+
+// TestHistQuantileMatchesHistogram: the scrape-side quantile (used by
+// rlibmtop) must agree with the in-process midpoint rule.
+func TestHistQuantileMatchesHistogram(t *testing.T) {
+	h := &Histogram{}
+	vals := []uint64{3, 100, 100, 1000, 1000, 1000, 50000, 1 << 21}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	// Rebuild the scraped cumulative view.
+	buckets := map[float64]float64{}
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		if b := h.Bucket(i); b > 0 {
+			cum += b
+			buckets[float64(BucketUpper(i))] = float64(cum)
+		}
+	}
+	buckets[math.Inf(1)] = float64(h.Count())
+	for _, q := range []float64{0, 0.5, 0.9, 0.99} {
+		inProc := h.Quantile(q)
+		scraped := HistQuantile(buckets, q)
+		if math.Abs(inProc-scraped) > 0.51 {
+			t.Errorf("q=%v: in-process %v vs scraped %v", q, inProc, scraped)
+		}
+	}
+}

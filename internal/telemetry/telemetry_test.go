@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentExactCounts hammers one counter, one gauge, and one
+// histogram from GOMAXPROCS goroutines and asserts the exact totals —
+// the lock-free paths must lose no updates (run under -race in CI).
+func TestConcurrentExactCounts(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_inflight", "inflight")
+	h := r.Histogram("test_latency_ns", "latency")
+
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 200000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(uint64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := uint64(workers * perWorker)
+	if got := c.Load(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := g.Load(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	var sum uint64
+	for i := 0; i < HistBuckets; i++ {
+		sum += h.Bucket(i)
+	}
+	if sum != want {
+		t.Errorf("bucket sum = %d, want %d", sum, want)
+	}
+}
+
+// TestConcurrentRegistration checks that racing registrations of the
+// same (name, labels) converge on one handle.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	workers := runtime.GOMAXPROCS(0)
+	handles := make([]*Counter, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			handles[w] = r.Counter("shared_total", "", "func", "exp")
+			handles[w].Add(1)
+		}(w)
+	}
+	wg.Wait()
+	for _, h := range handles[1:] {
+		if h != handles[0] {
+			t.Fatal("same (name, labels) returned distinct handles")
+		}
+	}
+	if got := handles[0].Load(); got != uint64(workers) {
+		t.Errorf("shared counter = %d, want %d", got, workers)
+	}
+}
+
+// TestNilSafety: every handle type must no-op on nil — that IS the
+// disabled mode.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x2", "")
+	h := r.Histogram("x3", "")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	c.Add(1)
+	c.Inc()
+	g.Add(1)
+	g.Set(5)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	r.CounterFunc("f", "", func() uint64 { return 1 })
+	if err := r.WritePrometheus(discard{}); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+
+	var tr *Trace
+	ctx := tr.NewContext("w")
+	if ctx != nil {
+		t.Fatal("nil trace must return nil context")
+	}
+	sp := ctx.Start("op")
+	sp.Arg("k", 1)
+	sp.End()
+	if ctx.Dropped() != 0 || ctx.Recorded() != 0 {
+		t.Error("nil context must read as zero")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestHistogramQuantileMidpoint pins the percentile fix: the reported
+// quantile is the bucket midpoint, within −25%/+50% of the true value,
+// not the upper edge (up to +100% high).
+func TestHistogramQuantileMidpoint(t *testing.T) {
+	h := &Histogram{}
+	// 1000 observations of exactly 1000 ns: bucket [512, 1024).
+	for i := 0; i < 1000; i++ {
+		h.Observe(1000)
+	}
+	got := h.Quantile(0.5)
+	if want := 768.0; got != want { // 1.5 * 512
+		t.Errorf("p50 = %v, want bucket midpoint %v", got, want)
+	}
+	// Error-bound sanity at both bucket ends.
+	for _, v := range []uint64{512, 1000, 1023} {
+		h2 := &Histogram{}
+		h2.Observe(v)
+		q := h2.Quantile(0.5)
+		if q < 0.75*float64(v) || q > 1.5*float64(v) {
+			t.Errorf("Quantile(%d) = %v outside documented [-25%%,+50%%] bound", v, q)
+		}
+	}
+	// Zero bucket.
+	hz := &Histogram{}
+	hz.Observe(0)
+	if q := hz.Quantile(0.99); q != 0 {
+		t.Errorf("quantile of all-zero observations = %v, want 0", q)
+	}
+	// Cross-bucket ranking: 90 fast (≈100ns) + 10 slow (≈1e6ns).
+	hx := &Histogram{}
+	for i := 0; i < 90; i++ {
+		hx.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		hx.Observe(1 << 20)
+	}
+	if p50 := hx.Quantile(0.50); p50 > 200 {
+		t.Errorf("p50 = %v, want ≈100ns bucket", p50)
+	}
+	if p99 := hx.Quantile(0.99); p99 < 1<<19 {
+		t.Errorf("p99 = %v, want ≈2^20ns bucket", p99)
+	}
+}
+
+func TestBucketEdges(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11}, {1 << 62, 39}}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if BucketUpper(0) != 0 || BucketUpper(1) != 1 || BucketUpper(10) != 1023 {
+		t.Error("BucketUpper edges wrong")
+	}
+}

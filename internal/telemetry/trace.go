@@ -1,0 +1,296 @@
+// Hierarchical spans with explicit per-goroutine contexts.
+//
+// The tracing design avoids the two classic costs of in-process
+// tracers: goroutine-local lookup (Go has no cheap TLS) and shared
+// buffers (cross-core contention on every span). Instead, the context
+// is explicit: each worker goroutine asks the Trace for its own
+// *TraceContext once and threads it through its call chain. A context
+// is single-goroutine by contract, so Start/End touch no locks and
+// allocate nothing for argless spans; completed spans land in the
+// context's private ring buffer, newest-wins on overflow.
+//
+// Export is Chrome trace_event JSON ("ph":"X" complete events, one tid
+// per context), loadable in chrome://tracing or https://ui.perfetto.dev.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// maxSpanDepth bounds span nesting per context; deeper Start calls are
+// dropped (counted) rather than recorded.
+const maxSpanDepth = 64
+
+// DefaultTraceEvents is the per-context ring capacity when NewTrace is
+// given n <= 0.
+const DefaultTraceEvents = 4096
+
+// Arg is one key/value annotation on a span.
+type Arg struct {
+	K string
+	V any
+}
+
+// spanEvent is a completed span in a context's ring buffer.
+type spanEvent struct {
+	name       string
+	start, dur int64 // ns since trace start
+	args       []Arg
+}
+
+// Trace collects spans from many contexts and exports them as one
+// Chrome trace. A nil *Trace hands out nil contexts; tracing is then
+// free. Safe for concurrent NewContext calls.
+type Trace struct {
+	perCtx int
+	start  time.Time
+	clock  func() int64 // ns since trace start; injectable for tests
+
+	mu   sync.Mutex
+	ctxs []*TraceContext
+}
+
+// NewTrace returns a trace whose contexts each buffer up to
+// eventsPerContext completed spans (DefaultTraceEvents if <= 0).
+func NewTrace(eventsPerContext int) *Trace {
+	if eventsPerContext <= 0 {
+		eventsPerContext = DefaultTraceEvents
+	}
+	t := &Trace{perCtx: eventsPerContext, start: time.Now()}
+	t.clock = func() int64 { return time.Since(t.start).Nanoseconds() }
+	return t
+}
+
+// SetClock replaces the trace clock with fn (ns since trace start).
+// Test hook: deterministic golden traces need deterministic time.
+func (t *Trace) SetClock(fn func() int64) {
+	if t != nil {
+		t.clock = fn
+	}
+}
+
+// NewContext registers a new per-worker context named name (the thread
+// name in the exported trace). Returns nil on a nil trace. Each
+// context must only be used from one goroutine at a time.
+func (t *Trace) NewContext(name string) *TraceContext {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &TraceContext{
+		tr:     t,
+		tid:    len(t.ctxs) + 1,
+		name:   name,
+		events: make([]spanEvent, 0, t.perCtx),
+	}
+	t.ctxs = append(t.ctxs, c)
+	return c
+}
+
+// TraceContext is one worker's span recorder: a span stack (for
+// nesting) plus a ring buffer of completed spans. Not safe for
+// concurrent use — that is the point; give each goroutine its own.
+type TraceContext struct {
+	tr   *Trace
+	tid  int
+	name string
+
+	stack   [maxSpanDepth]Span
+	depth   int
+	events  []spanEvent // ring once len == cap
+	n       uint64      // total completed spans ever recorded
+	dropped uint64      // spans lost to ring overflow or depth overflow
+}
+
+// Start opens a span. Returns nil (no-op) on a nil context. The
+// returned *Span points into the context's stack — it is valid until
+// its End and must End in LIFO order with any nested spans.
+func (c *TraceContext) Start(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	if c.depth >= maxSpanDepth {
+		c.dropped++
+		return nil
+	}
+	s := &c.stack[c.depth]
+	c.depth++
+	s.c = c
+	s.name = name
+	s.t0 = c.tr.clock()
+	s.args = s.args[:0]
+	return s
+}
+
+// Dropped returns how many spans were lost to overflow.
+func (c *TraceContext) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.dropped
+}
+
+// Recorded returns how many spans completed (including ones later
+// overwritten in the ring).
+func (c *TraceContext) Recorded() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Span is an open span. A nil *Span is a no-op (Start returns nil when
+// tracing is off or the stack overflowed).
+type Span struct {
+	c    *TraceContext
+	name string
+	t0   int64
+	args []Arg
+}
+
+// Arg annotates the span; returns s for chaining. No-op on nil.
+func (s *Span) Arg(k string, v any) *Span {
+	if s != nil {
+		s.args = append(s.args, Arg{k, v})
+	}
+	return s
+}
+
+// End closes the span and commits it to the ring buffer. No-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	c := s.c
+	end := c.tr.clock()
+	var args []Arg
+	if len(s.args) > 0 {
+		args = append(args, s.args...) // stack slot is reused; copy out
+	}
+	ev := spanEvent{name: s.name, start: s.t0, dur: end - s.t0, args: args}
+	if len(c.events) < cap(c.events) {
+		c.events = append(c.events, ev)
+	} else {
+		// Ring overwrite: keep the newest cap(events) spans.
+		c.events[int(c.n)%cap(c.events)] = ev
+		c.dropped++
+	}
+	c.n++
+	c.depth--
+}
+
+// WriteJSON renders the trace as Chrome trace_event JSON. Call it only
+// after every goroutine holding a TraceContext has quiesced — the
+// rings are read without synchronization. Events are emitted oldest-
+// first per context, contexts in creation order, with thread_name
+// metadata so the timeline shows worker names.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	ctxs := append([]*TraceContext(nil), t.ctxs...)
+	t.mu.Unlock()
+
+	bw := &errWriter{w: w}
+	bw.str(`{"traceEvents":[`)
+	first := true
+	for _, c := range ctxs {
+		if !first {
+			bw.str(",")
+		}
+		first = false
+		fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			c.tid, strconv.Quote(c.name))
+		// Chronological ring order: the oldest retained event is at
+		// n % cap when the ring has wrapped.
+		nEv := len(c.events)
+		startIdx := 0
+		if nEv == cap(c.events) && c.n > uint64(nEv) {
+			startIdx = int(c.n) % nEv
+		}
+		evs := make([]spanEvent, 0, nEv)
+		for i := 0; i < nEv; i++ {
+			evs = append(evs, c.events[(startIdx+i)%nEv])
+		}
+		// Overwrite order is completion order; sort by start so
+		// nesting renders correctly even after ring wrap.
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].start < evs[j].start })
+		for _, ev := range evs {
+			bw.str(",")
+			fmt.Fprintf(bw, `{"ph":"X","pid":1,"tid":%d,"name":%s,"ts":%s,"dur":%s`,
+				c.tid, strconv.Quote(ev.name), microString(ev.start), microString(ev.dur))
+			if len(ev.args) > 0 {
+				bw.str(`,"args":{`)
+				for i, a := range ev.args {
+					if i > 0 {
+						bw.str(",")
+					}
+					bw.str(strconv.Quote(a.K))
+					bw.str(":")
+					bw.str(jsonValue(a.V))
+				}
+				bw.str("}")
+			}
+			bw.str("}")
+		}
+	}
+	bw.str(`],"displayTimeUnit":"ns"}`)
+	return bw.err
+}
+
+// microString renders ns as microseconds with ns resolution (Chrome's
+// ts/dur unit is µs).
+func microString(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// jsonValue renders a span arg value: numbers and bools natively,
+// everything else as a quoted string.
+func jsonValue(v any) string {
+	switch x := v.(type) {
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case uint64:
+		return strconv.FormatUint(x, 10)
+	case uint:
+		return strconv.FormatUint(uint64(x), 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	case string:
+		return strconv.Quote(x)
+	default:
+		return strconv.Quote(fmt.Sprint(x))
+	}
+}
+
+// errWriter folds write errors so the rendering loop stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	_, e.err = e.w.Write(p)
+	return len(p), nil
+}
+
+func (e *errWriter) str(s string) { io.WriteString(e, s) }

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeClock returns a deterministic clock advancing 1µs per call.
+func fakeClock() func() int64 {
+	var t int64
+	return func() int64 {
+		t += 1000
+		return t
+	}
+}
+
+// TestSpanNesting records nested spans and checks the ring holds them
+// completion-ordered with correct containment.
+func TestSpanNesting(t *testing.T) {
+	tr := NewTrace(16)
+	tr.SetClock(fakeClock())
+	c := tr.NewContext("worker")
+
+	outer := c.Start("outer")
+	inner := c.Start("inner").Arg("round", 1)
+	inner.End()
+	outer.End()
+
+	if got := c.Recorded(); got != 2 {
+		t.Fatalf("recorded = %d, want 2", got)
+	}
+	if c.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", c.Dropped())
+	}
+	// inner completes first.
+	if c.events[0].name != "inner" || c.events[1].name != "outer" {
+		t.Fatalf("completion order = %q,%q", c.events[0].name, c.events[1].name)
+	}
+	in, out := c.events[0], c.events[1]
+	if in.start < out.start || in.start+in.dur > out.start+out.dur {
+		t.Errorf("inner [%d,+%d] not contained in outer [%d,+%d]",
+			in.start, in.dur, out.start, out.dur)
+	}
+	if len(in.args) != 1 || in.args[0].K != "round" {
+		t.Errorf("inner args = %v", in.args)
+	}
+}
+
+// TestRingOverflow fills a small ring past capacity and asserts
+// newest-wins retention with exact drop accounting.
+func TestRingOverflow(t *testing.T) {
+	tr := NewTrace(4)
+	tr.SetClock(fakeClock())
+	c := tr.NewContext("w")
+	const total = 10
+	for i := 0; i < total; i++ {
+		c.Start("op").Arg("i", i).End()
+	}
+	if got := c.Recorded(); got != total {
+		t.Errorf("recorded = %d, want %d", got, total)
+	}
+	if got := c.Dropped(); got != total-4 {
+		t.Errorf("dropped = %d, want %d", got, total-4)
+	}
+	if len(c.events) != 4 {
+		t.Fatalf("ring len = %d, want 4", len(c.events))
+	}
+	// The retained spans are the newest four (i = 6..9).
+	seen := map[int]bool{}
+	for _, ev := range c.events {
+		seen[ev.args[0].V.(int)] = true
+	}
+	for i := total - 4; i < total; i++ {
+		if !seen[i] {
+			t.Errorf("newest span i=%d evicted; ring holds %v", i, seen)
+		}
+	}
+
+	// Depth overflow: Start beyond maxSpanDepth returns nil and counts.
+	c2 := tr.NewContext("deep")
+	spans := make([]*Span, 0, maxSpanDepth)
+	for i := 0; i < maxSpanDepth; i++ {
+		spans = append(spans, c2.Start("lvl"))
+	}
+	if s := c2.Start("too-deep"); s != nil {
+		t.Error("Start beyond maxSpanDepth should return nil")
+	}
+	if c2.Dropped() != 1 {
+		t.Errorf("depth-dropped = %d, want 1", c2.Dropped())
+	}
+	for i := len(spans) - 1; i >= 0; i-- {
+		spans[i].End()
+	}
+	if c2.Recorded() != maxSpanDepth {
+		t.Errorf("recorded = %d, want %d", c2.Recorded(), maxSpanDepth)
+	}
+}
+
+// TestTraceGoldenJSON pins the Chrome trace_event output byte-for-byte
+// under a fake clock, and checks it is valid JSON of the expected
+// shape (the same validation chrome://tracing's loader performs).
+func TestTraceGoldenJSON(t *testing.T) {
+	tr := NewTrace(8)
+	tr.SetClock(fakeClock())
+	w1 := tr.NewContext("gen:exp")
+	w2 := tr.NewContext("polygen-w1")
+
+	s := w1.Start("cegis.round")
+	w2.Start("lp.solve").Arg("pivots", int64(12)).Arg("presolve", true).End()
+	s.Arg("round", 0).End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"traceEvents":[` +
+		`{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"gen:exp"}}` +
+		`,{"ph":"X","pid":1,"tid":1,"name":"cegis.round","ts":1.000,"dur":3.000,"args":{"round":0}}` +
+		`,{"ph":"M","pid":1,"tid":2,"name":"thread_name","args":{"name":"polygen-w1"}}` +
+		`,{"ph":"X","pid":1,"tid":2,"name":"lp.solve","ts":2.000,"dur":1.000,"args":{"pivots":12,"presolve":true}}` +
+		`],"displayTimeUnit":"ns"}`
+	if got := buf.String(); got != golden {
+		t.Errorf("trace JSON mismatch:\n got %s\nwant %s", got, golden)
+	}
+
+	// Structural validation: parses as JSON, traceEvents is an array of
+	// objects each holding ph/pid/tid (what trace viewers require).
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("traceEvents len = %d, want 4", len(doc.TraceEvents))
+	}
+	for i, ev := range doc.TraceEvents {
+		for _, k := range []string{"ph", "pid", "tid", "name"} {
+			if _, ok := ev[k]; !ok {
+				t.Errorf("event %d missing %q", i, k)
+			}
+		}
+	}
+}
+
+// TestTraceConcurrentContexts drives many contexts from their own
+// goroutines (the supported concurrency model) under -race.
+func TestTraceConcurrentContexts(t *testing.T) {
+	tr := NewTrace(64)
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := tr.NewContext("w")
+			for i := 0; i < 500; i++ {
+				sp := c.Start("op")
+				c.Start("nested").End()
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("concurrent trace output is invalid JSON")
+	}
+	if !strings.Contains(buf.String(), `"nested"`) {
+		t.Error("trace lost all events")
+	}
+}

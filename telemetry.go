@@ -1,0 +1,48 @@
+// Runtime batch-kernel telemetry.
+//
+// The library itself stays silent by default: the only cost a
+// non-observed process pays is one atomic pointer load per EvalSlice
+// batch (amortized over the whole batch, not per element). Enabling
+// telemetry swaps in a handle set registered on a caller-owned
+// registry, so an embedding service (rlibmd does this) can expose
+// per-function batch throughput next to its own series.
+package rlibm32
+
+import (
+	"sync/atomic"
+
+	"rlibm32/internal/telemetry"
+)
+
+type sliceTelemetry struct {
+	batches *telemetry.Counter
+	values  *telemetry.Counter
+	byFunc  map[string]*telemetry.Counter
+}
+
+var sliceTel atomic.Pointer[sliceTelemetry]
+
+// EnableTelemetry starts counting EvalSlice traffic (batches, values,
+// per-function values) on reg. Passing nil disables telemetry again,
+// as does DisableTelemetry. Safe to call concurrently with EvalSlice.
+func EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		sliceTel.Store(nil)
+		return
+	}
+	t := &sliceTelemetry{
+		batches: reg.Counter("rlibm_evalslice_batches_total",
+			"EvalSlice batch calls"),
+		values: reg.Counter("rlibm_evalslice_values_total",
+			"values evaluated through EvalSlice"),
+		byFunc: make(map[string]*telemetry.Counter),
+	}
+	for _, name := range Names() {
+		t.byFunc[name] = reg.Counter("rlibm_evalslice_func_values_total",
+			"values evaluated through EvalSlice per function", "func", name)
+	}
+	sliceTel.Store(t)
+}
+
+// DisableTelemetry restores the default silent mode.
+func DisableTelemetry() { sliceTel.Store(nil) }
