@@ -76,6 +76,15 @@ func BenchmarkPosit32(b *testing.B) {
 	}
 }
 
+// reportBatchMetrics converts a batch benchmark's raw ns/op into the
+// two numbers the kernel work is judged by: ns per value and values
+// per second.
+func reportBatchMetrics(b *testing.B, width int) {
+	perValue := float64(b.Elapsed().Nanoseconds()) / float64(b.N*width)
+	b.ReportMetric(perValue, "ns/value")
+	b.ReportMetric(1e9/perValue, "values/s")
+}
+
 // BenchmarkBatch1024 is the §4.3 "vectorization" harness: arrays of
 // 1024 inputs processed per outer iteration.
 func BenchmarkBatch1024(b *testing.B) {
@@ -91,12 +100,14 @@ func BenchmarkBatch1024(b *testing.B) {
 				}
 			}
 			sink = out[0]
+			reportBatchMetrics(b, 1024)
 		})
 		b.Run(name+"/rlibm-batch", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				bf2(out, xs)
 			}
 			sink = out[0]
+			reportBatchMetrics(b, 1024)
 		})
 		for _, lib := range baselines.Float32Libraries {
 			bf := baselines.Func32(lib, name)
@@ -110,8 +121,30 @@ func BenchmarkBatch1024(b *testing.B) {
 					}
 				}
 				sink = out[0]
+				reportBatchMetrics(b, 1024)
 			})
 		}
+	}
+}
+
+// BenchmarkEvalSliceFuncs1024 is the per-function batch entry-point
+// benchmark: every shipped float32 function through EvalSlice at the
+// canonical width, reporting ns/value and values/s for benchstat
+// tracking across the whole surface (not just the three §4.3
+// headliners).
+func BenchmarkEvalSliceFuncs1024(b *testing.B) {
+	for _, name := range rlibm.Names() {
+		xs := perf.Float32Inputs(name, 1024)
+		out := make([]float32, 1024)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := rlibm.EvalSlice(name, out, xs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sink = out[0]
+			reportBatchMetrics(b, 1024)
+		})
 	}
 }
 
@@ -132,6 +165,7 @@ func BenchmarkEvalSlice1024(b *testing.B) {
 			}
 		}
 		sink = out[0]
+		reportBatchMetrics(b, 1024)
 	})
 	b.Run("TelemetryOn", func(b *testing.B) {
 		rlibm.EnableTelemetry(telemetry.NewRegistry())
@@ -143,6 +177,7 @@ func BenchmarkEvalSlice1024(b *testing.B) {
 			}
 		}
 		sink = out[0]
+		reportBatchMetrics(b, 1024)
 	})
 }
 

@@ -3,15 +3,24 @@
 // function plus a geometric mean, and the §4.3 batch-of-1024
 // throughput comparison.
 //
+// With -roofline it instead runs the batch-kernel roofline harness:
+// per function, the staged pipeline against both fused kernel paths
+// and the selected path, next to the machine's measured memory and
+// arithmetic ceilings — and a bit-exact parity gate over a mixed
+// ordinary+special sweep that fails the process (exit 1) on any
+// mismatch, which is what CI's bench-smoke job runs.
+//
 // Usage:
 //
 //	go run ./cmd/rlibmbench [-type float|posit|all] [-n inputs] [-reps R]
+//	go run ./cmd/rlibmbench -roofline [-n inputs] [-reps R]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"os"
 
 	"rlibm32/internal/baselines"
 	"rlibm32/internal/perf"
@@ -22,7 +31,13 @@ func main() {
 	typ := flag.String("type", "all", "float, posit, or all")
 	n := flag.Int("n", 1<<17, "input array length")
 	reps := flag.Int("reps", 8, "repetitions per measurement")
+	roofline := flag.Bool("roofline", false, "run the batch-kernel roofline harness (with parity gate) instead")
 	flag.Parse()
+
+	if *roofline {
+		runRoofline(*n, *reps)
+		return
+	}
 
 	if *typ == "float" || *typ == "all" {
 		fmt.Println("Figure 3 reproduction: speedup of RLIBM-32 float32 functions")
@@ -108,6 +123,36 @@ func main() {
 			factors = append(factors, s.Factor())
 		}
 		fmt.Printf("%-8s %11s %11s %9.2fx\n", "geomean", "", "", geomean(factors))
+	}
+}
+
+// runRoofline prints the roofline table and exits nonzero if any
+// kernel path disagrees with the scalar evaluator on any input.
+func runRoofline(n, reps int) {
+	rl := perf.MeasureRoofline(n, reps)
+	fmt.Printf("Batch-kernel roofline (n=%d, reps=%d)\n", n, reps)
+	fmt.Printf("machine: mul-add %.3f ns/op, stream %.3f ns/value, kernel path %s (%s)\n\n",
+		rl.MulAddNs, rl.StreamNs, rl.KernelPath, rl.KernelPathReason)
+	fmt.Printf("%-8s %-11s %9s %9s %9s %9s %6s %9s %9s %7s %7s\n",
+		"f(x)", "kind", "staged", "exact", "fma", "selected", "flops",
+		"membound", "compbound", "%roof", "parity")
+	bad := false
+	for _, r := range rl.Rows {
+		bound := math.Max(r.MemBoundNs, r.CompBoundNs)
+		pct := 100 * bound / r.SelectedNs
+		parity := "ok"
+		if !r.ParityOK {
+			parity = "FAIL"
+			bad = true
+		}
+		fmt.Printf("%-8s %-11s %8.2f  %8.2f  %8.2f  %8.2f  %5d  %8.2f  %8.2f  %5.1f%% %7s\n",
+			r.Func, r.Kind, r.StagedNs, r.ExactNs, r.FMANs, r.SelectedNs,
+			r.Flops, r.MemBoundNs, r.CompBoundNs, pct, parity)
+	}
+	fmt.Println("\nns columns are ns/value; %roof = max(membound, compbound) / selected.")
+	if bad {
+		fmt.Println("PARITY FAILURE: a kernel path disagrees with the scalar evaluator")
+		os.Exit(1)
 	}
 }
 

@@ -247,6 +247,41 @@ func render(w io.Writer, url string, cur, prev *snap, dt float64) {
 		telemetry.HistQuantile(bs, 0.50), telemetry.HistQuantile(bs, 0.99),
 		fmtCount(rate(shed)), unit)
 
+	// Batch-kernel health: which kernel kind serves the EvalSlice
+	// traffic (simd vs pure-Go vs staged fallback), and how wide the
+	// batches actually are — narrow batches can't amortize per-batch
+	// costs, so the width histogram explains throughput regressions the
+	// per-function table alone can't.
+	var kindTotal float64
+	kinds := map[string]float64{}
+	for _, sm := range cur.by["rlibm_kernel_path_batches_total"] {
+		v := sm.Value
+		if prev != nil {
+			p, _ := prev.value("rlibm_kernel_path_batches_total", map[string]string{"path": sm.Labels["path"]})
+			v -= p
+		}
+		kinds[sm.Labels["path"]] += v
+		kindTotal += v
+	}
+	if kindTotal > 0 {
+		var names []string
+		for k := range kinds {
+			names = append(names, k)
+		}
+		sort.Slice(names, func(i, j int) bool { return kinds[names[i]] > kinds[names[j]] })
+		parts := make([]string, 0, len(names))
+		for _, k := range names {
+			parts = append(parts, fmt.Sprintf("%s %.0f%%", k, 100*kinds[k]/kindTotal))
+		}
+		bw := cur.hist("rlibm_evalslice_batch_width", nil)
+		if prev != nil {
+			bw = sub(bw, prev.hist("rlibm_evalslice_batch_width", nil))
+		}
+		fmt.Fprintf(w, "kernel: %s of batches, width p50 %.0f p99 %.0f\n",
+			strings.Join(parts, " / "),
+			telemetry.HistQuantile(bw, 0.50), telemetry.HistQuantile(bw, 0.99))
+	}
+
 	// Oracle cache (cumulative ratio is the meaningful number).
 	hits, _ := cur.value("rlibm_oracle_cache_hits_total", nil)
 	misses, _ := cur.value("rlibm_oracle_cache_misses_total", nil)

@@ -1,0 +1,124 @@
+// math.FMA capability probe.
+//
+// Go's math.FMA is correct everywhere but fast only where it compiles
+// to (or dispatches at runtime to) a hardware fused multiply-add; on
+// CPUs without one it falls back to a ~100-instruction soft-float
+// routine that would make the fma kernels dramatically slower than the
+// plain mul-add exact kernels. There is no portable way to ask "is FMA
+// fused here?" — build tags see the target architecture, not the
+// GOAMD64 microarchitecture level or the CPU's feature bits — so the
+// probe simply times both the way the kernels use them: four
+// independent mul-add chains (a batch loop's shape — the out-of-order
+// core overlaps iterations, so throughput, not latency, decides) and
+// the same chains through math.FMA. The fma path is selected only when
+// it is measurably faster. That rejects the soft-float fallback (an
+// order of magnitude off) and also the subtler regime where math.FMA
+// is intrinsified behind a per-call-site CPU-feature check (GOAMD64=v1
+// on an FMA-capable CPU): there the check's overhead exceeds the
+// chain-shortening gain in throughput terms, and the exact kernels are
+// the faster path even though a latency probe would call them tied.
+//
+// The documented pure-Go fallback path is the exact kernel family
+// (kernel.go, fma=false): the same fused, branchless, unrolled loops
+// evaluating polynomials with the generator-validated Horner sequence
+// — bit-identical to the fma kernels where both run (the parity tests
+// prove it), merely slower where hardware FMA exists.
+//
+// RLIBM_FMA=1/0 (also fma/exact, on/off) overrides the probe — for
+// reproducible benchmarking, for testing both paths on one machine,
+// and as an escape hatch if the timing heuristic ever misfires.
+package libm
+
+import (
+	"math"
+	"os"
+	"sync"
+	"time"
+)
+
+var (
+	fmaOnce   sync.Once
+	fmaOn     bool
+	fmaReason string
+)
+
+// useFMAKernels reports whether the batch kernels should use the
+// math.FMA/Estrin polynomial cores. Decided once per process.
+func useFMAKernels() bool {
+	fmaOnce.Do(func() { fmaOn, fmaReason = decideFMA() })
+	return fmaOn
+}
+
+// KernelPath reports the selected batch polynomial path ("fma" or
+// "exact") and how it was chosen ("probe" or "env"). Telemetry and the
+// roofline harness surface it.
+func KernelPath() (path, reason string) {
+	if useFMAKernels() {
+		return "fma", fmaReason
+	}
+	return "exact", fmaReason
+}
+
+func decideFMA() (bool, string) {
+	switch os.Getenv("RLIBM_FMA") {
+	case "1", "fma", "on":
+		return true, "env"
+	case "0", "exact", "off":
+		return false, "env"
+	}
+	return probeFMA(), "probe"
+}
+
+// fmaProbeSink defeats dead-code elimination of the probe loops.
+var fmaProbeSink float64
+
+func probeFMA() bool {
+	const n = 8192
+	// One warmup each (page in the code, settle turbo), then best of
+	// three — min is robust against scheduler noise on a busy box.
+	timeMulAdd(n)
+	timeFMAChain(n)
+	var tm, tf time.Duration
+	for i := 0; i < 3; i++ {
+		if d := timeMulAdd(n); i == 0 || d < tm {
+			tm = d
+		}
+		if d := timeFMAChain(n); i == 0 || d < tf {
+			tf = d
+		}
+	}
+	if tm <= 0 {
+		tm = 1
+	}
+	return tf < tm
+}
+
+func timeMulAdd(n int) time.Duration {
+	a0, a1, a2, a3 := 1.0, 1.0, 1.0, 1.0
+	x := 0.999999999
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		a0 = a0*x + 0x1p-60
+		a1 = a1*x + 0x1p-59
+		a2 = a2*x + 0x1p-58
+		a3 = a3*x + 0x1p-57
+	}
+	d := time.Since(t0)
+	fmaProbeSink += a0 + a1 + a2 + a3
+	return d
+}
+
+func timeFMAChain(n int) time.Duration {
+	a0, a1, a2, a3 := 1.0, 1.0, 1.0, 1.0
+	x := 0.999999999
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		a0 = math.FMA(a0, x, 0x1p-60)
+		a1 = math.FMA(a1, x, 0x1p-59)
+		a2 = math.FMA(a2, x, 0x1p-58)
+		a3 = math.FMA(a3, x, 0x1p-57)
+	}
+	d := time.Since(t0)
+	fmaProbeSink += a0 + a1 + a2 + a3
+	return d
+}

@@ -1,0 +1,46 @@
+package libm
+
+import "testing"
+
+// TestDecideFMAEnvOverride pins the RLIBM_FMA override grammar: every
+// accepted spelling forces the corresponding path with reason "env",
+// and anything else falls through to the probe.
+func TestDecideFMAEnvOverride(t *testing.T) {
+	cases := []struct {
+		env  string
+		want bool
+	}{
+		{"1", true}, {"fma", true}, {"on", true},
+		{"0", false}, {"exact", false}, {"off", false},
+	}
+	for _, c := range cases {
+		t.Setenv("RLIBM_FMA", c.env)
+		on, reason := decideFMA()
+		if on != c.want || reason != "env" {
+			t.Errorf("RLIBM_FMA=%q: got (%v, %q), want (%v, \"env\")", c.env, on, reason, c.want)
+		}
+	}
+	t.Setenv("RLIBM_FMA", "")
+	if _, reason := decideFMA(); reason != "probe" {
+		t.Errorf("unset override: reason %q, want \"probe\"", reason)
+	}
+}
+
+// TestProbeFMATerminates runs the actual timing probe: whatever it
+// decides on this machine, it must return (both outcomes are valid —
+// the parity tests prove the two kernel paths agree bit-for-bit).
+func TestProbeFMATerminates(t *testing.T) {
+	probeFMA() // value is machine-dependent; the test is that it runs
+}
+
+// TestKernelPathShape checks the telemetry-facing accessor returns one
+// of the two documented path names with a documented reason.
+func TestKernelPathShape(t *testing.T) {
+	path, reason := KernelPath()
+	if path != "fma" && path != "exact" {
+		t.Errorf("KernelPath path = %q", path)
+	}
+	if reason != "probe" && reason != "env" {
+		t.Errorf("KernelPath reason = %q", reason)
+	}
+}

@@ -1,0 +1,63 @@
+package libm
+
+import (
+	"math"
+	"testing"
+)
+
+// fmaWitness records, per fmaContractionUnsafe entry, the input the
+// full 2^32 parity sweep found where the FMA-contracted core rounds
+// differently from the validated Horner core.
+var fmaWitness = map[string]uint32{
+	"exp":   0xc16912cd,
+	"exp10": 0x417d7f60,
+}
+
+// TestFMAContractionWitness keeps the evidence behind the
+// fmaContractionUnsafe pins alive: for each pinned function the raw
+// (ungated) contracted kernel must still disagree with the scalar
+// evaluator on the recorded witness input — if it stops disagreeing,
+// the tables changed and the pin deserves re-evaluation with a fresh
+// RLIBM_PARITY_FULL=1 sweep — while the gated kernel the library
+// actually serves must be correctly rounded there on both paths.
+func TestFMAContractionWitness(t *testing.T) {
+	if len(fmaWitness) != len(fmaContractionUnsafe) {
+		t.Fatalf("witness table and pin list out of sync: %v vs %v", fmaWitness, fmaContractionUnsafe)
+	}
+	for name, bits := range fmaWitness {
+		if !fmaContractionUnsafe[name] {
+			t.Fatalf("%s has a witness but no pin", name)
+		}
+		var f *impl
+		for _, fi := range float32Impls {
+			if fi.name == name {
+				f = fi
+			}
+		}
+		if f == nil {
+			t.Fatalf("%s: no float32 impl", name)
+		}
+		sc := compile(f)
+		x := math.Float32frombits(bits)
+		want := math.Float32bits(float32(sc(float64(x))))
+		xs := []float32{x, x, x, x} // ≥4 so the SIMD path, when present, runs
+		dst := make([]float32, 4)
+
+		raw := fusedSlice[float32](f, true) // ungated contraction
+		raw(dst, xs)
+		if got := math.Float32bits(dst[0]); got == want {
+			t.Errorf("%s: contracted kernel now agrees with scalar at %#08x — pin may be obsolete, re-run the RLIBM_PARITY_FULL=1 sweep before removing it", name, bits)
+		}
+
+		for _, fma := range []bool{false, true} {
+			gated := fusedSlice32(f, fma)
+			if gated == nil {
+				t.Fatalf("%s: no fused kernel", name)
+			}
+			gated(dst, xs)
+			if got := math.Float32bits(dst[0]); got != want {
+				t.Errorf("%s fma=%v: served kernel got %#08x want %#08x at %#08x", name, fma, got, want, bits)
+			}
+		}
+	}
+}

@@ -111,7 +111,27 @@ func compile(f *impl) func(float64) float64 {
 // in L1 (and on the stack).
 const bchunk = 256
 
-// compileSlice builds the devirtualized batch evaluator for an impl.
+// compileSliceAuto builds the batch evaluator for an impl: the fused
+// branchless kernel (kernel.go) when the generated table shapes match
+// one — they do for every shipped function — with the staged pipeline
+// below kept as the structural fallback for shapes future generators
+// might emit. Both produce bit-identical results to the scalar path.
+func compileSliceAuto(f *impl) func(dst, xs []float32) {
+	if k := fusedSlice32(f, useFMAKernels()); k != nil {
+		return k
+	}
+	return compileSlice(f)
+}
+
+// compileSliceAuto64 is compileSliceAuto over exact float64 embeddings.
+func compileSliceAuto64(f *impl) func(dst, xs []float64) {
+	if k := fusedSlice[float64](f, useFMAKernels()); k != nil {
+		return k
+	}
+	return compileSlice64(f)
+}
+
+// compileSlice builds the staged batch evaluator for an impl.
 // Each chunk runs in stages — special-case/range-reduce pass, call-free
 // piecewise Horner pass (Piecewise.EvalSlice), output-compensation
 // pass — so the per-element work is short dependency chains the CPU
@@ -415,7 +435,7 @@ func compileSlice64(f *impl) func(dst []float64, xs []float64) {
 func Float32SliceImpls() map[string]func(dst, xs []float32) {
 	out := make(map[string]func(dst, xs []float32), len(float32Impls))
 	for _, f := range float32Impls {
-		k := compileSlice(f)
+		k := compileSliceAuto(f)
 		out[f.name] = func(dst, xs []float32) {
 			if len(xs) == 0 {
 				return
@@ -434,7 +454,7 @@ func Float32SliceImpls() map[string]func(dst, xs []float32) {
 func Posit32SliceImpls() map[string]func(dst, xs []float64) {
 	out := make(map[string]func(dst, xs []float64), len(posit32Impls))
 	for _, f := range posit32Impls {
-		k := compileSlice64(f)
+		k := compileSliceAuto64(f)
 		out[f.name] = func(dst, xs []float64) {
 			if len(xs) == 0 {
 				return

@@ -1,0 +1,95 @@
+package piecewise
+
+import "math"
+
+// Fused polynomial evaluation schemes for the batch kernels.
+//
+// The generated polynomials come in exactly two arithmetic cores: a
+// three-coefficient quadratic Q(y) = c0 + c1·y + c2·y² (the NoConst,
+// Odd and Even kinds evaluate Q at y = x or y = x² and multiply by x
+// as needed) and a five-coefficient dense quartic (the exponential
+// families). The *Exact variants repeat, token for token, the Horner
+// sequence the generator validated — the reduced rounding intervals
+// absorbed exactly those errors, so their results are bit-identical to
+// the scalar library by construction. The *FMA variants contract each
+// multiply-add into math.FMA (one rounding instead of two) and, for
+// the quartic, use an Estrin split so the dependency chain is three
+// fused ops deep instead of eight sequential ones.
+//
+// An FMA-evaluated polynomial is a different double than the Horner
+// one, so bit-identity of the final 32-bit result is not structural:
+// it holds because the generated polynomials sit inside their rounding
+// intervals with double-precision slack. The generator checks the FMA
+// forms against every constraint interval it solved (gentool's
+// FMA-admissibility pass) and the kernel parity sweep verifies the
+// shipped tables input-by-input; the runtime only selects an FMA
+// kernel behind that evidence (see internal/libm's probe).
+
+// QuadExact evaluates c0 + c1·y + c2·y² with the validated Horner
+// sequence: (c2·y + c1)·y + c0.
+func QuadExact(c0, c1, c2, y float64) float64 {
+	return (c2*y+c1)*y + c0
+}
+
+// QuadFMA evaluates c0 + c1·y + c2·y² as fma(fma(c2,y,c1),y,c0):
+// same depth, half the roundings.
+func QuadFMA(c0, c1, c2, y float64) float64 {
+	return math.FMA(math.FMA(c2, y, c1), y, c0)
+}
+
+// Dense5Exact evaluates the dense quartic with the validated Horner
+// sequence.
+func Dense5Exact(c0, c1, c2, c3, c4, r float64) float64 {
+	return (((c4*r+c3)*r+c2)*r+c1)*r + c0
+}
+
+// Dense5FMA evaluates the dense quartic with the Estrin split
+//
+//	p(r) = (c0 + c1·r) + r²·(c2 + c3·r + c4·r²)
+//
+// as three levels of fused ops: both halves issue in parallel and the
+// chain is fma→fma→fma instead of Horner's four dependent mul-adds.
+func Dense5FMA(c0, c1, c2, c3, c4, r float64) float64 {
+	r2 := r * r
+	lo := math.FMA(c1, r, c0)
+	hi := math.FMA(c3, r, math.FMA(c4, r2, c2))
+	return math.FMA(hi, r2, lo)
+}
+
+// EvalPolyFMA is EvalPoly with each polynomial core contracted exactly
+// the way the FMA batch kernels contract it: the five-coefficient
+// dense quartic through Dense5FMA's Estrin split, the
+// three-coefficient quadratic shapes through QuadFMA. Shapes the
+// kernels never contract (generic lengths, Sparse) fall through to the
+// plain Horner sequence, again matching the kernels, which evaluate
+// those shapes unfused. gentool's FMA-admissibility pass drives the
+// generated tables through this function to certify that contraction
+// cannot move any rounded 32-bit result.
+func EvalPolyFMA(kind Kind, terms []int, coeffs []float64, x float64) float64 {
+	if len(coeffs) == 3 {
+		switch kind {
+		case Dense:
+			return QuadFMA(coeffs[0], coeffs[1], coeffs[2], x)
+		case Odd:
+			x2 := x * x
+			return QuadFMA(coeffs[0], coeffs[1], coeffs[2], x2) * x
+		case Even:
+			x2 := x * x
+			return QuadFMA(coeffs[0], coeffs[1], coeffs[2], x2)
+		case NoConst:
+			return QuadFMA(coeffs[0], coeffs[1], coeffs[2], x) * x
+		}
+	}
+	if kind == Dense && len(coeffs) == 5 {
+		return Dense5FMA(coeffs[0], coeffs[1], coeffs[2], coeffs[3], coeffs[4], x)
+	}
+	return EvalPoly(kind, terms, coeffs, x)
+}
+
+// EvalFMA is Table.Eval with the FMA-contracted polynomial core: the
+// same sub-domain row, evaluated through EvalPolyFMA.
+func (t *Table) EvalFMA(r float64) float64 {
+	idx := t.Index(r)
+	row := t.Coeffs[idx*len(t.Terms) : (idx+1)*len(t.Terms)]
+	return EvalPolyFMA(t.Kind, t.Terms, row, r)
+}

@@ -1,0 +1,82 @@
+package piecewise
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEvalPolyFMAContraction pins the contraction contract: for the
+// shapes the batch kernels fuse, EvalPolyFMA must be token-for-token
+// the QuadFMA/Dense5FMA composition (what the kernels compute); for
+// every other shape it must fall back to the plain Horner sequence.
+func TestEvalPolyFMAContraction(t *testing.T) {
+	x := 0.7358293752941
+	q := []float64{0.125, -0.875, 0.3331}
+	d5 := []float64{1, 0.5, 0.1666, 0.0417, 0.0083}
+
+	if got, want := EvalPolyFMA(Dense, []int{0, 1, 2}, q, x), QuadFMA(q[0], q[1], q[2], x); got != want {
+		t.Errorf("dense-3: got %x want %x", got, want)
+	}
+	if got, want := EvalPolyFMA(Odd, []int{1, 3, 5}, q, x), QuadFMA(q[0], q[1], q[2], x*x)*x; got != want {
+		t.Errorf("odd-3: got %x want %x", got, want)
+	}
+	if got, want := EvalPolyFMA(Even, []int{0, 2, 4}, q, x), QuadFMA(q[0], q[1], q[2], x*x); got != want {
+		t.Errorf("even-3: got %x want %x", got, want)
+	}
+	if got, want := EvalPolyFMA(NoConst, []int{1, 2, 3}, q, x), QuadFMA(q[0], q[1], q[2], x)*x; got != want {
+		t.Errorf("noconst-3: got %x want %x", got, want)
+	}
+	if got, want := EvalPolyFMA(Dense, []int{0, 1, 2, 3, 4}, d5, x), Dense5FMA(d5[0], d5[1], d5[2], d5[3], d5[4], x); got != want {
+		t.Errorf("dense-5: got %x want %x", got, want)
+	}
+	// Uncontracted shapes fall back to the exact Horner sequence.
+	d4 := d5[:4]
+	if got, want := EvalPolyFMA(Dense, []int{0, 1, 2, 3}, d4, x), EvalPoly(Dense, []int{0, 1, 2, 3}, d4, x); got != want {
+		t.Errorf("dense-4 fallback: got %x want %x", got, want)
+	}
+	sp := []float64{1, 2}
+	if got, want := EvalPolyFMA(Sparse, []int{0, 3}, sp, x), EvalPoly(Sparse, []int{0, 3}, sp, x); got != want {
+		t.Errorf("sparse fallback: got %x want %x", got, want)
+	}
+}
+
+// TestEvalPolyFMADiffersFromHorner documents why the admissibility
+// pass exists at all: contraction IS a different double-precision
+// value for some coefficient sets, so bit-identity of the rounded
+// 32-bit result has to be certified, not assumed.
+func TestEvalPolyFMADiffersFromHorner(t *testing.T) {
+	// Search a small deterministic grid for a witness; the property is
+	// that such witnesses exist, not that any particular point is one.
+	coeffs := []float64{1, 1.0 / 3, 1.0 / 7, 1.0 / 9, 1.0 / 11}
+	terms := []int{0, 1, 2, 3, 4}
+	for i := 1; i < 1000; i++ {
+		x := float64(i) / 997
+		if EvalPolyFMA(Dense, terms, coeffs, x) != EvalPoly(Dense, terms, coeffs, x) {
+			return // found a witness: fused != Horner in double
+		}
+	}
+	t.Skip("no contraction witness on this grid (FMA == Horner throughout)")
+}
+
+// TestTableEvalFMASameRow checks Table.EvalFMA locates the same
+// sub-domain row as Table.Eval — only the core arithmetic changes.
+func TestTableEvalFMASameRow(t *testing.T) {
+	// One-subdomain table (N=0): row selection is trivial, so EvalFMA
+	// must equal the direct contracted form.
+	tab := &Table{
+		Terms:   []int{0, 1, 2, 3, 4},
+		Kind:    Dense,
+		N:       0,
+		Shift:   64,
+		MinBits: math.Float64bits(0x1p-10),
+		MaxBits: math.Float64bits(1.0),
+		Coeffs:  []float64{1, 0.5, 0.1666, 0.0417, 0.0083},
+	}
+	for _, r := range []float64{0x1p-10, 0.25, 0.7358, 1.0} {
+		c := tab.Coeffs
+		want := Dense5FMA(c[0], c[1], c[2], c[3], c[4], r)
+		if got := tab.EvalFMA(r); got != want {
+			t.Errorf("EvalFMA(%v) = %x, want %x", r, got, want)
+		}
+	}
+}

@@ -151,6 +151,17 @@ func (p *Piecewise) Eval(r float64) float64 {
 	return t.Eval(r)
 }
 
+// EvalFMA evaluates the approximation at r with the FMA-contracted
+// polynomial core the batch kernels use (see piecewise.EvalPolyFMA);
+// gentool's admissibility pass compares it against Eval.
+func (p *Piecewise) EvalFMA(r float64) float64 {
+	t := p.Pos
+	if r < 0 && p.Neg != nil {
+		t = p.Neg
+	}
+	return t.EvalFMA(r)
+}
+
 // EvalSlice evaluates the approximation at every rs[i] into dst[i],
 // bit-identical to per-element Eval. Sign-homogeneous piecewise tables
 // stream straight through Table.EvalSlice; per-sign pairs partition

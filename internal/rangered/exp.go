@@ -72,7 +72,7 @@ func (f *ExpFamily) Reduce(x float64) (float64, Ctx) {
 	ki := int(k)
 	m := ki >> 6
 	j := ki - (m << 6) // j = k mod 64 ∈ [0, 64)
-	a := exp2i(m) * f.TTab[j]
+	a := Exp2i(m) * f.TTab[j]
 	return r, Ctx{A: a, S: 1}
 }
 
@@ -98,7 +98,7 @@ func (f *ExpFamily) ReduceSlice(rs, as []float64, sp []bool, xs []float64) {
 		ki := int(k)
 		m := ki >> 6
 		j := ki - (m << 6) // j = k mod 64 ∈ [0, 64)
-		sp[i], rs[i], as[i] = false, r, exp2i(m)*ttab[j]
+		sp[i], rs[i], as[i] = false, r, Exp2i(m)*ttab[j]
 	}
 }
 

@@ -92,10 +92,10 @@ func EvalWith(f Family, x float64, polys []func(float64) float64) float64 {
 	return f.OC(vals, c)
 }
 
-// exp2i returns 2^m exactly for -1022 <= m <= 1023 via direct bit
+// Exp2i returns 2^m exactly for -1022 <= m <= 1023 via direct bit
 // construction (value-identical to math.Ldexp(1, m), several times
 // faster; the generator and runtime share this helper, so there is no
 // numerical divergence to absorb).
-func exp2i(m int) float64 {
+func Exp2i(m int) float64 {
 	return math.Float64frombits(uint64(m+1023) << 52)
 }

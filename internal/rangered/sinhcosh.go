@@ -96,8 +96,8 @@ func (f *SinhCoshFamily) Reduce(x float64) (float64, Ctx) {
 	ki := int(k)
 	m := ki >> 6
 	j := ki - (m << 6)
-	e := exp2i(m)   // 2^m, exact
-	ei := exp2i(-m) // 2^-m, exact (m ≤ ~8256/64 = 129, within range)
+	e := Exp2i(m)   // 2^m, exact
+	ei := Exp2i(-m) // 2^-m, exact (m ≤ ~8256/64 = 129, within range)
 	cha := (e + ei) * 0.5
 	sha := (e - ei) * 0.5
 	var a, b float64

@@ -92,8 +92,16 @@ func buildEvaluators() map[batchKey]evalFunc {
 		key := batchKey{typ: code, name: e.Name}
 		switch e.Variant {
 		case libm.VariantFloat32:
-			if f, ok := rlibm.FuncSlice(e.Name); ok {
-				out[key] = wrapFloat32(f)
+			// Route through EvalSlice, not the raw FuncSlice kernel, so
+			// the library's batch telemetry (batch-width histogram,
+			// kernel-path counters) sees served traffic when rlibmd has
+			// called rlibm.EnableTelemetry. The name is registry-validated
+			// and wrapFloat32 sizes dst to xs, so the error path is dead.
+			if _, ok := rlibm.FuncSlice(e.Name); ok {
+				name := e.Name
+				out[key] = wrapFloat32(func(dst, xs []float32) {
+					_ = rlibm.EvalSlice(name, dst, xs)
+				})
 			}
 		case libm.VariantPosit32:
 			if f, ok := positmath.FuncSlice(e.Name); ok {

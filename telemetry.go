@@ -11,6 +11,7 @@ package rlibm32
 import (
 	"sync/atomic"
 
+	"rlibm32/internal/libm"
 	"rlibm32/internal/telemetry"
 )
 
@@ -18,6 +19,16 @@ type sliceTelemetry struct {
 	batches *telemetry.Counter
 	values  *telemetry.Counter
 	byFunc  map[string]*telemetry.Counter
+	// widths is the batch-width histogram: how large the EvalSlice
+	// batches actually are, which is what decides whether the fused
+	// kernels' fixed per-batch costs amortize.
+	widths *telemetry.Histogram
+	// pathByFunc counts batches by the kernel kind serving them
+	// (simd-exact/simd-fma/go-exact/go-fma/staged) — the runtime answer
+	// to "is this deployment on the vector path or a fallback?". The
+	// kind is resolved per function once at enable time; functions with
+	// the same kind share a counter.
+	pathByFunc map[string]*telemetry.Counter
 }
 
 var sliceTel atomic.Pointer[sliceTelemetry]
@@ -36,13 +47,29 @@ func EnableTelemetry(reg *telemetry.Registry) {
 		values: reg.Counter("rlibm_evalslice_values_total",
 			"values evaluated through EvalSlice"),
 		byFunc: make(map[string]*telemetry.Counter),
+		widths: reg.Histogram("rlibm_evalslice_batch_width",
+			"EvalSlice batch widths (values per call)"),
+		pathByFunc: make(map[string]*telemetry.Counter),
 	}
 	for _, name := range Names() {
 		t.byFunc[name] = reg.Counter("rlibm_evalslice_func_values_total",
 			"values evaluated through EvalSlice per function", "func", name)
+		t.pathByFunc[name] = reg.Counter("rlibm_kernel_path_batches_total",
+			"EvalSlice batches by serving kernel kind", "path", libm.KernelKind32(name))
 	}
 	sliceTel.Store(t)
 }
 
 // DisableTelemetry restores the default silent mode.
 func DisableTelemetry() { sliceTel.Store(nil) }
+
+// KernelPath reports the batch polynomial path the runtime selected
+// ("fma" or "exact") and how ("probe" or "env" for an RLIBM_FMA
+// override). rlibmtop and the roofline harness surface it.
+func KernelPath() (path, reason string) { return libm.KernelPath() }
+
+// KernelKind reports which batch kernel EvalSlice runs for the named
+// function: "simd-exact"/"simd-fma" (AVX2 vector kernels),
+// "go-exact"/"go-fma" (pure-Go fused kernels), or "staged" (the
+// structural fallback). Empty for unknown names.
+func KernelKind(name string) string { return libm.KernelKind32(name) }
