@@ -39,6 +39,7 @@ func main() {
 	maxFrame := flag.Int("max-frame", server.DefaultMaxFrame, "max frame payload bytes")
 	maxBatch := flag.Int("max-batch", 1<<16, "max values per coalesced kernel dispatch")
 	maxInflight := flag.Int64("max-inflight", 1<<20, "max admitted-but-unevaluated values before BUSY shedding")
+	connInflight := flag.Int("conn-inflight", 64, "max pipelined requests in flight per connection")
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "per-frame read deadline")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
@@ -50,6 +51,7 @@ func main() {
 		MaxFrame:     *maxFrame,
 		MaxBatch:     *maxBatch,
 		MaxInflight:  *maxInflight,
+		ConnInflight: *connInflight,
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 	})

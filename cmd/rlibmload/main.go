@@ -3,14 +3,22 @@
 // raw bit patterns for a rotating set of functions, and reports
 // throughput (values/s, requests/s) and request latency percentiles.
 //
+// By default each connection is synchronous: one request in flight,
+// measuring unpipelined round-trip behavior. With -pipeline N each
+// connection keeps N requests in flight through the client's
+// multiplexed async API, which is how a throughput-oriented caller
+// would drive the daemon — the summary line reports the same
+// values/s and percentile fields so the two modes compare directly.
+//
 // With -verify (the default), every result bit pattern is compared
 // against the in-process library, so a run doubles as an end-to-end
 // bit-exactness check; any mismatch, protocol error or non-BUSY error
 // frame makes the process exit non-zero. BUSY responses are counted
 // and reported but are not failures — they are the server's designed
-// load shedding.
+// load shedding. -min-rate sets a values/s floor for CI gating.
 //
 //	rlibmload -addr 127.0.0.1:7043 -duration 5s -conns 8 -batch 256
+//	rlibmload -addr 127.0.0.1:7043 -pipeline 16      # 16 in flight per conn
 //	rlibmload -addr 127.0.0.1:7043 -batch 1          # scalar RPC mode
 //	rlibmload -addr 127.0.0.1:7043 -ping             # readiness probe
 package main
@@ -124,16 +132,130 @@ type connStats struct {
 	latencies  []time.Duration
 }
 
+// runSync drives one connection with a single request in flight —
+// classic blocking RPC, measuring unpipelined round trips.
+func runSync(c *server.Client, st *connStats, work []workload, code uint8, batch, ci int, stop time.Time, verify bool) {
+	off := ci * 131 // de-phase connections across the input arrays
+	for i := 0; time.Now().Before(stop); i++ {
+		w := &work[(ci+i)%len(work)]
+		lo := (off + i*batch) % len(w.in)
+		hi := lo + batch
+		if hi > len(w.in) {
+			hi = len(w.in)
+		}
+		in := w.in[lo:hi]
+		start := time.Now()
+		got, status, err := c.EvalBits(code, w.name, nil, in)
+		lat := time.Since(start)
+		if err != nil {
+			st.transport++
+			return
+		}
+		switch status {
+		case server.StatusOK:
+			st.requests++
+			st.values += uint64(len(in))
+			st.latencies = append(st.latencies, lat)
+			if verify {
+				for j := range in {
+					if got[j] != w.expected[lo+j] {
+						st.mismatches++
+					}
+				}
+			}
+		case server.StatusBusy:
+			st.busy++
+			time.Sleep(200 * time.Microsecond)
+		default:
+			st.errFrames++
+		}
+	}
+}
+
+// runPipelined drives one connection with depth requests in flight
+// through the client's async Go API: a completion immediately reissues
+// its slot, so the pipe stays full until the deadline and then drains.
+// Each slot owns a reusable dst buffer (the client writes results in
+// place), so the steady-state loop allocates nothing per request.
+func runPipelined(c *server.Client, st *connStats, work []workload, code uint8, batch, depth, ci int, stop time.Time, verify bool) {
+	type slot struct {
+		w     *workload
+		lo    int
+		start time.Time
+		dst   []uint32
+	}
+	done := make(chan *server.Call, depth)
+	slots := make([]slot, depth)
+	off := ci * 131
+	seq := 0
+	issue := func(si int) {
+		i := seq
+		seq++
+		w := &work[(ci+i)%len(work)]
+		lo := (off + i*batch) % len(w.in)
+		hi := lo + batch
+		if hi > len(w.in) {
+			hi = len(w.in)
+		}
+		sl := &slots[si]
+		sl.w, sl.lo, sl.start = w, lo, time.Now()
+		if cap(sl.dst) < hi-lo {
+			sl.dst = make([]uint32, hi-lo)
+		}
+		call := c.Go(code, w.name, sl.dst[:hi-lo], w.in[lo:hi], done)
+		call.Tag = uint64(si)
+	}
+	inflight := 0
+	for si := 0; si < depth; si++ {
+		issue(si)
+		inflight++
+	}
+	for inflight > 0 {
+		call := <-done
+		inflight--
+		si := int(call.Tag)
+		sl := &slots[si]
+		lat := time.Since(sl.start)
+		if call.Err != nil {
+			st.transport++
+			return
+		}
+		switch call.Status {
+		case server.StatusOK:
+			st.requests++
+			st.values += uint64(len(call.Dst))
+			st.latencies = append(st.latencies, lat)
+			if verify {
+				for j := range call.Dst {
+					if call.Dst[j] != sl.w.expected[sl.lo+j] {
+						st.mismatches++
+					}
+				}
+			}
+		case server.StatusBusy:
+			st.busy++
+		default:
+			st.errFrames++
+		}
+		if time.Now().Before(stop) {
+			issue(si)
+			inflight++
+		}
+	}
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7043", "rlibmd address")
 	ping := flag.Bool("ping", false, "send one ping and exit (readiness probe)")
 	duration := flag.Duration("duration", 5*time.Second, "load duration")
 	conns := flag.Int("conns", 8, "concurrent connections")
 	batch := flag.Int("batch", 256, "values per request (1 = scalar RPC mode)")
+	pipeline := flag.Int("pipeline", 0, "requests in flight per connection (0 = synchronous)")
 	typ := flag.String("type", "float32", "representation: "+strings.Join(libm.Variants(), " "))
 	funcsFlag := flag.String("funcs", "all", "comma-separated function names, or all")
 	n := flag.Int("n", 1<<16, "precomputed inputs per function (32-bit types)")
 	verify := flag.Bool("verify", true, "check every result bit against the in-process library")
+	minRate := flag.Float64("min-rate", 0, "fail unless throughput reaches this many values/s")
 	quiet := flag.Bool("quiet", false, "only print the summary line")
 	flag.Parse()
 
@@ -183,40 +305,10 @@ func main() {
 				return
 			}
 			defer c.Close()
-			off := ci * 131 // de-phase connections across the input arrays
-			for i := 0; time.Now().Before(stop); i++ {
-				w := &work[(ci+i)%len(work)]
-				lo := (off + i**batch) % len(w.in)
-				hi := lo + *batch
-				if hi > len(w.in) {
-					hi = len(w.in)
-				}
-				in := w.in[lo:hi]
-				start := time.Now()
-				got, status, err := c.EvalBits(code, w.name, in)
-				lat := time.Since(start)
-				if err != nil {
-					st.transport++
-					return
-				}
-				switch status {
-				case server.StatusOK:
-					st.requests++
-					st.values += uint64(len(in))
-					st.latencies = append(st.latencies, lat)
-					if *verify {
-						for j := range in {
-							if got[j] != w.expected[lo+j] {
-								st.mismatches++
-							}
-						}
-					}
-				case server.StatusBusy:
-					st.busy++
-					time.Sleep(200 * time.Microsecond)
-				default:
-					st.errFrames++
-				}
+			if *pipeline > 0 {
+				runPipelined(c, st, work, code, *batch, *pipeline, ci, stop, *verify)
+			} else {
+				runSync(c, st, work, code, *batch, ci, stop, *verify)
 			}
 		}(ci)
 	}
@@ -250,10 +342,14 @@ func main() {
 		return lats[i]
 	}
 
-	fmt.Printf("rlibmload: type=%s conns=%d batch=%d duration=%v\n", *typ, *conns, *batch, elapsed.Round(time.Millisecond))
+	mode := "sync"
+	if *pipeline > 0 {
+		mode = fmt.Sprintf("pipeline=%d", *pipeline)
+	}
+	rate := float64(total.values) / elapsed.Seconds()
+	fmt.Printf("rlibmload: type=%s conns=%d batch=%d %s duration=%v\n", *typ, *conns, *batch, mode, elapsed.Round(time.Millisecond))
 	fmt.Printf("  requests=%d values=%d throughput=%.0f values/s (%.0f req/s)\n",
-		total.requests, total.values,
-		float64(total.values)/elapsed.Seconds(), float64(total.requests)/elapsed.Seconds())
+		total.requests, total.values, rate, float64(total.requests)/elapsed.Seconds())
 	fmt.Printf("  latency p50=%v p99=%v busy=%d err_frames=%d transport_errs=%d mismatches=%d\n",
 		q(0.50).Round(time.Microsecond), q(0.99).Round(time.Microsecond),
 		total.busy, total.errFrames, total.transport, total.mismatches)
@@ -263,6 +359,10 @@ func main() {
 	}
 	if total.requests == 0 {
 		fmt.Fprintln(os.Stderr, "rlibmload: FAILED (no successful requests)")
+		os.Exit(1)
+	}
+	if *minRate > 0 && rate < *minRate {
+		fmt.Fprintf(os.Stderr, "rlibmload: FAILED (throughput %.0f values/s below floor %.0f)\n", rate, *minRate)
 		os.Exit(1)
 	}
 }

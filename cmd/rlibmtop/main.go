@@ -247,6 +247,23 @@ func render(w io.Writer, url string, cur, prev *snap, dt float64) {
 		telemetry.HistQuantile(bs, 0.50), telemetry.HistQuantile(bs, 0.99),
 		fmtCount(rate(shed)), unit)
 
+	// Sharded dispatch and wire batching: steals show idle shards
+	// helping busy ones; shard-shed shows one shard's admission bound
+	// binding before the global one; frames-per-writev is the
+	// scatter-gather amortization (1.0 means no response batching).
+	steals := delta(cur, prev, "rlibmd_steals_total")
+	shardShed := delta(cur, prev, "rlibmd_shard_shed_values_total")
+	writevs := delta(cur, prev, "rlibmd_writev_total")
+	wframes := delta(cur, prev, "rlibmd_writev_frames_total")
+	wbytes := delta(cur, prev, "rlibmd_writev_bytes_total")
+	fpw := 0.0
+	if writevs > 0 {
+		fpw = wframes / writevs
+	}
+	fmt.Fprintf(w, "dispatch: steals %s%s  shard-shed %s vals%s   wire: %s writev%s, %.1f frames/writev, %s B%s\n",
+		fmtCount(rate(steals)), unit, fmtCount(rate(shardShed)), unit,
+		fmtCount(rate(writevs)), unit, fpw, fmtCount(rate(wbytes)), unit)
+
 	// Batch-kernel health: which kernel kind serves the EvalSlice
 	// traffic (simd vs pure-Go vs staged fallback), and how wide the
 	// batches actually are — narrow batches can't amortize per-batch

@@ -2,29 +2,108 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rlibm32/posit32"
+
+	rlibm "rlibm32"
 )
 
-// Client is a synchronous rlibmd client: one request in flight per
-// client, over one TCP connection. It is safe for concurrent use (a
-// mutex serializes requests); callers that want request concurrency —
-// which is what makes server-side coalescing kick in — should open
-// several clients.
+// ErrClientClosed is returned for calls issued after Close (or after a
+// transport failure tore the connection down).
+var ErrClientClosed = errors.New("server: client closed")
+
+// ErrShortDst mirrors rlibm32.EvalSlice's length contract for
+// caller-provided result buffers: dst must hold len(src) values.
+var ErrShortDst = rlibm.ErrShortDst
+
+// Call is one in-flight pipelined request, in the style of net/rpc: it
+// is handed back on its Done channel when the response arrives (or the
+// transport fails).
+//
+// Src is caller-owned and must stay unmodified until completion — the
+// writer scatter-gathers it onto the wire without copying. Dst is
+// where results land: caller-provided (len ≥ len(Src), checked up
+// front with ErrShortDst) or allocated at issue time when nil, so the
+// reader goroutine completes calls without allocating. On completion
+// with Status == StatusOK, Dst[:len(Src)] holds the result bits; any
+// other status means "no results" (notably StatusBusy, the server's
+// load shedding). Err covers transport problems only.
+type Call struct {
+	Type   uint8
+	Name   string
+	Src    []uint32
+	Dst    []uint32
+	Status uint8
+	Err    error
+	Done   chan *Call // receives the Call on completion; cap ≥ 1
+	Tag    uint64     // caller scratch (e.g. a slot index); not touched
+
+	op uint8
+	id uint32
+
+	// state sequences the writer's reads of the request fields against
+	// the caller's reuse of the Call after completion. The writer CASes
+	// pending→sent once it has finished reading the fields (after the
+	// flush); a completion that arrives first (a response outrunning
+	// its own flush window, or teardown racing the writer) CASes
+	// pending→doneEarly instead, and the writer delivers the completion
+	// itself once its flush is over.
+	state atomic.Uint32
+}
+
+const (
+	callPending   = 0 // registered; the writer may still read the fields
+	callSent      = 1 // writer is done reading; completion is free to deliver
+	callDoneEarly = 2 // completed before callSent; the writer delivers Done
+)
+
+// complete delivers a finished call to its caller, unless the writer
+// may still be reading the call's request fields — then the writer
+// delivers it at the end of its flush (never blocking this goroutine).
+// The caller must have set Status/Err/Dst before calling.
+func (call *Call) complete() {
+	if call.state.CompareAndSwap(callPending, callDoneEarly) {
+		return
+	}
+	call.finish()
+}
+
+// Client is a pipelined, multiplexed rlibmd client: any number of
+// goroutines issue requests concurrently on one TCP connection,
+// request IDs in the frame header pair responses (which may complete
+// out of order) with their calls, a writer goroutine batches small
+// frames into shared flushes (Nagle-style: everything queued while the
+// previous write was in flight goes out in one writev), and a reader
+// goroutine completes futures as response frames arrive.
 type Client struct {
-	mu      sync.Mutex
 	conn    net.Conn
-	br      *bufio.Reader
-	bw      *bufio.Writer
-	buf     []byte
-	readBuf []byte
-	nextID  uint32
 	timeout time.Duration
+
+	mu     sync.Mutex // guards calls, nextID, err, closed
+	calls  map[uint32]*Call
+	nextID uint32
+	err    error // sticky transport error
+	closed bool
+
+	// wmu is held by the writer for the span of each flush (field reads
+	// through writev) and by fail() while it finishes claimed calls, so
+	// a teardown can never hand a Call back to its caller while the
+	// writer is still reading it.
+	wmu sync.Mutex
+
+	sendq    chan *Call
+	quit     chan struct{} // closed once on Close or transport failure
+	quitOnce sync.Once
+
+	callPool sync.Pool // *Call with a cap-1 Done channel, for the sync API
 }
 
 // Dial connects to an rlibmd server.
@@ -33,99 +112,438 @@ func Dial(addr string) (*Client, error) {
 }
 
 // DialTimeout connects with an explicit dial timeout, also used as the
-// per-request I/O deadline.
+// per-flush I/O deadline.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true) // latency over throughput: frames are small
+		// The writer already batches small frames into shared flushes,
+		// so Nagle's algorithm would only add latency on top.
+		tc.SetNoDelay(true)
 	}
-	return &Client{
+	c := &Client{
 		conn:    conn,
-		br:      bufio.NewReaderSize(conn, 64<<10),
-		bw:      bufio.NewWriterSize(conn, 64<<10),
 		timeout: timeout,
-	}, nil
+		calls:   make(map[uint32]*Call),
+		sendq:   make(chan *Call, 256),
+		quit:    make(chan struct{}),
+	}
+	c.callPool.New = func() any { return &Call{Done: make(chan *Call, 1)} }
+	go c.writer()
+	go c.reader()
+	return c, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close tears the connection down; in-flight calls complete with
+// ErrClientClosed (or the read error that raced it).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.fail(ErrClientClosed)
+	return err
+}
 
-// roundTrip sends one request and reads its response.
-func (c *Client) roundTrip(req *Request) (*Response, error) {
+// broken reports whether the client can no longer issue requests.
+func (c *Client) broken() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.closed || c.err != nil
+}
+
+// fail completes every registered call with err and poisons the
+// client. First failure wins. Unregistering under the mutex is what
+// guarantees each call finishes exactly once — whoever removes it from
+// the map owns its completion.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	err = c.err
+	calls := c.calls
+	c.calls = make(map[uint32]*Call)
+	c.mu.Unlock()
+	c.quitOnce.Do(func() { close(c.quit) })
+	c.conn.Close()
+	// Finish under wmu: closing the connection above aborts any flush in
+	// progress, and taking the lock waits out the writer's last reads of
+	// these calls' fields before their owners can observe completion and
+	// reuse them.
+	c.wmu.Lock()
+	for _, call := range calls {
+		call.Err = err
+		call.finish()
+	}
+	c.wmu.Unlock()
+}
+
+// finish delivers the call on its Done channel. A full Done channel is
+// caller misuse (the channel must have room for every call issued with
+// it, as with net/rpc); the completion is dropped rather than blocking
+// the reader.
+func (call *Call) finish() {
+	select {
+	case call.Done <- call:
+	default:
+	}
+}
+
+// Go issues req asynchronously: it registers the call, hands it to the
+// writer, and returns immediately; the call comes back on done (cap
+// ≥ 1; allocated when nil) once the response arrives. Misuse — an
+// unknown type code, dst shorter than src, a closed client — completes
+// the call immediately with the error set.
+func (c *Client) Go(typ uint8, name string, dst, src []uint32, done chan *Call) *Call {
+	if done == nil {
+		done = make(chan *Call, 1)
+	}
+	call := &Call{Type: typ, Name: name, Src: src, Dst: dst, Done: done, op: OpEval}
+	c.start(call)
+	return call
+}
+
+// start validates and enqueues a prepared call.
+func (c *Client) start(call *Call) {
+	if call.op == OpEval {
+		if TypeWidth(call.Type) == 0 {
+			call.Err = fmt.Errorf("%w: unknown type code %d", ErrBadFrame, call.Type)
+			call.finish()
+			return
+		}
+		if len(call.Name) > 255 {
+			call.Err = fmt.Errorf("%w: function name too long", ErrBadFrame)
+			call.finish()
+			return
+		}
+		if call.Dst == nil {
+			call.Dst = make([]uint32, len(call.Src))
+		} else if len(call.Dst) < len(call.Src) {
+			call.Err = ErrShortDst
+			call.finish()
+			return
+		}
+	}
+	c.mu.Lock()
+	if c.closed || c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		call.Err = err
+		call.finish()
+		return
+	}
 	c.nextID++
-	req.ID = c.nextID
-	out, err := AppendRequest(c.buf[:0], req)
-	if err != nil {
-		return nil, err
+	call.id = c.nextID
+	c.calls[call.id] = call
+	c.mu.Unlock()
+	select {
+	case c.sendq <- call:
+	case <-c.quit:
+		// Only finish the call if fail() has not already claimed it —
+		// whoever removes it from the map owns its completion.
+		if c.forget(call) {
+			call.Err = ErrClientClosed
+			call.finish()
+		}
 	}
-	c.buf = out
-	c.conn.SetDeadline(time.Now().Add(c.timeout))
-	if _, err := c.bw.Write(out); err != nil {
-		return nil, err
+}
+
+// forget unregisters a call that never reached the wire, reporting
+// whether it was still registered (and is therefore ours to finish).
+func (c *Client) forget(call *Call) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.calls[call.id]; !ok {
+		return false
 	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, err
+	delete(c.calls, call.id)
+	return true
+}
+
+// writer drains the send queue onto the socket with scatter-gather
+// batching: headers (and 16-bit payloads) go into reused arenas,
+// 4-byte payloads are referenced straight from each call's Src, and
+// one writev carries every frame that queued up while the previous
+// flush was in flight — the flush window that makes scalar pipelined
+// RPCs share syscalls.
+func (c *Client) writer() {
+	var (
+		hdrs   []byte
+		arena  []byte
+		bufs   net.Buffers
+		wire   net.Buffers // consumable header for WriteTo; declared here so no flush allocates
+		window []*Call
+		kept   []*Call
+	)
+	for {
+		var call *Call
+		select {
+		case call = <-c.sendq:
+		case <-c.quit:
+			c.drainSendq()
+			return
+		}
+		window = append(window[:0], call)
+		for len(window) < maxFlushFrames {
+			select {
+			case call = <-c.sendq:
+				window = append(window, call)
+				continue
+			default:
+			}
+			break
+		}
+		c.wmu.Lock()
+		// Encode only calls still registered: anything fail() has
+		// already claimed is dropped here, and fail() cannot finish the
+		// survivors (letting their callers reuse them) until this flush
+		// releases wmu.
+		kept = kept[:0]
+		c.mu.Lock()
+		for _, cl := range window {
+			if _, ok := c.calls[cl.id]; ok {
+				kept = append(kept, cl)
+			}
+		}
+		c.mu.Unlock()
+		var err error
+		if len(kept) > 0 {
+			hdrs, arena, bufs = hdrs[:0], arena[:0], bufs[:0]
+			for _, cl := range kept {
+				width := TypeWidth(cl.Type)
+				off := len(hdrs)
+				hdrs = appendRequestHeader(hdrs, cl.op, cl.Type, cl.Name, cl.id, len(cl.Src), width)
+				bufs = append(bufs, hdrs[off:len(hdrs):len(hdrs)])
+				if len(cl.Src) > 0 {
+					if width == 4 && hostLE {
+						bufs = append(bufs, bitsAsBytes(cl.Src))
+					} else {
+						poff := len(arena)
+						arena = appendValues(arena, cl.Src, width)
+						bufs = append(bufs, arena[poff:len(arena):len(arena)])
+					}
+				}
+			}
+			c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+			wire = bufs // WriteTo consumes its receiver
+			_, err = wire.WriteTo(c.conn)
+			for i := range bufs {
+				bufs[i] = nil
+			}
+		}
+		// Done reading every call in the window. A completion that beat
+		// this point (response outran the flush, or the call was dropped
+		// above after its completion) parked itself as doneEarly; deliver
+		// those now.
+		for i, cl := range window {
+			if !cl.state.CompareAndSwap(callPending, callSent) {
+				cl.finish()
+			}
+			window[i] = nil
+		}
+		c.wmu.Unlock()
+		if err != nil {
+			c.fail(fmt.Errorf("server: write: %w", err))
+			c.drainSendq()
+			return
+		}
 	}
-	frame, buf, err := readFrame(c.br, c.readBuf, DefaultMaxFrame)
-	c.readBuf = buf
-	if err != nil {
-		return nil, err
+}
+
+// drainSendq empties the send queue after teardown. Calls still
+// pending belong to fail() (they were registered, so it claimed them);
+// calls a response or teardown already completed-early are delivered
+// here, since no flush will.
+func (c *Client) drainSendq() {
+	for {
+		select {
+		case call := <-c.sendq:
+			if !call.state.CompareAndSwap(callPending, callSent) {
+				call.finish()
+			}
+		default:
+			return
+		}
 	}
-	resp, err := DecodeResponse(frame)
-	if err != nil {
-		return nil, err
+}
+
+// reader completes in-flight calls as response frames arrive, in
+// whatever order the server finished them. Results decode straight
+// into each call's Dst; nothing allocates in steady state.
+func (c *Client) reader() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	fr := frameReader{max: DefaultMaxFrame}
+	for {
+		c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+		frame, err := fr.read(br)
+		if err != nil {
+			// An idle timeout with nothing in flight is not a failure:
+			// keep listening.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				c.mu.Lock()
+				idle := len(c.calls) == 0 && c.err == nil && !c.closed
+				c.mu.Unlock()
+				if idle {
+					continue
+				}
+			}
+			c.fail(fmt.Errorf("server: read: %w", err))
+			return
+		}
+		if len(frame) < respHeaderLen || frame[0] != ProtoVersion {
+			c.fail(fmt.Errorf("%w: bad response header", ErrBadFrame))
+			return
+		}
+		status, typ := frame[1], frame[2]
+		id := binary.LittleEndian.Uint32(frame[4:])
+		count := int(binary.LittleEndian.Uint32(frame[8:]))
+		c.mu.Lock()
+		call := c.calls[id]
+		delete(c.calls, id)
+		c.mu.Unlock()
+		if call == nil {
+			c.fail(fmt.Errorf("%w: response for unknown request id %d", ErrBadFrame, id))
+			return
+		}
+		call.Status = status
+		if status != StatusOK {
+			// Non-OK means "no results", and must carry none.
+			if count != 0 || len(frame) != respHeaderLen {
+				call.Err = fmt.Errorf("%w: error response with payload", ErrBadFrame)
+				call.complete()
+				c.fail(call.Err)
+				return
+			}
+			call.Dst = call.Dst[:0]
+			call.complete()
+			continue
+		}
+		if count == 0 {
+			// Pings (and empty evals) complete here; an empty OK for a
+			// non-empty request is a broken server, not a smaller answer.
+			if len(frame) != respHeaderLen {
+				call.Err = fmt.Errorf("%w: response length %d for 0 values", ErrBadFrame, len(frame))
+				call.complete()
+				c.fail(call.Err)
+				return
+			}
+			if len(call.Src) != 0 {
+				call.Err = fmt.Errorf("server: 0 results for %d inputs", len(call.Src))
+				call.complete()
+				continue
+			}
+			call.Dst = call.Dst[:0]
+			call.complete()
+			continue
+		}
+		width := TypeWidth(typ)
+		if width == 0 || len(frame) != respHeaderLen+count*width {
+			call.Err = fmt.Errorf("%w: response length %d for %d values", ErrBadFrame, len(frame), count)
+			call.complete()
+			c.fail(call.Err)
+			return
+		}
+		// An OK response carries exactly one result per input.
+		if count != len(call.Src) {
+			call.Err = fmt.Errorf("server: %d results for %d inputs", count, len(call.Src))
+			call.complete()
+			continue
+		}
+		decodeValuesInto(call.Dst[:count], frame[respHeaderLen:], width)
+		call.Dst = call.Dst[:count]
+		call.complete()
 	}
-	if resp.ID != req.ID {
-		return nil, fmt.Errorf("server: response id %d for request %d", resp.ID, req.ID)
-	}
-	return resp, nil
+}
+
+// roundTrip runs one call synchronously through the pipeline, reusing
+// pooled Call carriers so the steady-state sync path allocates
+// nothing. The caller must hand the Call back with putCall once done
+// with its fields.
+func (c *Client) roundTrip(op, typ uint8, name string, dst, src []uint32) (*Call, error) {
+	call := c.callPool.Get().(*Call)
+	call.Type, call.Name, call.Src, call.Dst = typ, name, src, dst
+	call.Status, call.Err, call.Tag, call.op = 0, nil, 0, op
+	call.state.Store(callPending)
+	c.start(call)
+	<-call.Done
+	return call, call.Err
+}
+
+// putCall recycles a roundTrip carrier.
+func (c *Client) putCall(call *Call) {
+	call.Src, call.Dst, call.Name = nil, nil, ""
+	c.callPool.Put(call)
 }
 
 // Ping round-trips a liveness probe.
 func (c *Client) Ping() error {
-	resp, err := c.roundTrip(&Request{Op: OpPing})
+	call, err := c.roundTrip(OpPing, 0, "", nil, nil)
 	if err != nil {
+		c.putCall(call)
 		return err
 	}
-	if resp.Status != StatusOK {
-		return fmt.Errorf("server: ping status %s", StatusText(resp.Status))
+	status := call.Status
+	c.putCall(call)
+	if status != StatusOK {
+		return fmt.Errorf("server: ping status %s", StatusText(status))
 	}
 	return nil
 }
 
-// EvalBits evaluates the named function over raw bit patterns in the
-// given representation. It returns the result bits and the server
-// status; callers must treat any status other than StatusOK (notably
-// StatusBusy) as "no results". The error covers transport problems
-// only.
-func (c *Client) EvalBits(typ uint8, name string, bits []uint32) ([]uint32, uint8, error) {
-	resp, err := c.roundTrip(&Request{Op: OpEval, Type: typ, Name: name, Bits: bits})
+// EvalBits evaluates the named function over the raw bit patterns in
+// src in the given representation, synchronously (the request still
+// rides the shared pipeline, so concurrent callers share flushes).
+//
+// Length contract, mirroring rlibm32.EvalSlice: results land in
+// dst[:len(src)], which is returned. A nil dst allocates; a non-nil
+// dst shorter than src returns ErrShortDst before anything is sent.
+// With a caller-provided dst the whole round trip — encode, writev,
+// response decode — allocates nothing in steady state.
+//
+// The returned status is the server's verdict; callers must treat any
+// status other than StatusOK (notably StatusBusy) as "no results".
+// The error covers transport and contract problems only.
+func (c *Client) EvalBits(typ uint8, name string, dst, src []uint32) ([]uint32, uint8, error) {
+	call, err := c.roundTrip(OpEval, typ, name, dst, src)
 	if err != nil {
+		c.putCall(call)
 		return nil, 0, err
 	}
-	if resp.Status != StatusOK {
-		return nil, resp.Status, nil
+	status := call.Status
+	out := call.Dst
+	c.putCall(call)
+	if status != StatusOK {
+		return nil, status, nil
 	}
-	if len(resp.Bits) != len(bits) {
-		return nil, 0, fmt.Errorf("server: %d results for %d inputs", len(resp.Bits), len(bits))
-	}
-	return resp.Bits, StatusOK, nil
+	return out, StatusOK, nil
 }
 
 // EvalFloat32 evaluates the named float32 function over xs into dst
-// (allocated when nil). Non-OK statuses surface as errors here; use
-// EvalBits to handle BUSY with backoff.
+// (allocated when nil; ErrShortDst when too short). Non-OK statuses
+// surface as errors here; use EvalBits to handle BUSY with backoff.
 func (c *Client) EvalFloat32(name string, dst, xs []float32) ([]float32, error) {
-	bits := make([]uint32, len(xs))
-	for i, x := range xs {
-		bits[i] = math.Float32bits(x)
+	if dst != nil && len(dst) < len(xs) {
+		return nil, ErrShortDst
 	}
-	out, status, err := c.EvalBits(TFloat32, name, bits)
+	// Distinct src and dst buffers: the writer goroutine scatter-gathers
+	// src onto the wire, so results must not decode over it.
+	bits := make([]uint32, 2*len(xs))
+	src, out0 := bits[:len(xs)], bits[len(xs):]
+	for i, x := range xs {
+		src[i] = math.Float32bits(x)
+	}
+	out, status, err := c.EvalBits(TFloat32, name, out0, src)
 	if err != nil {
 		return nil, err
 	}
@@ -138,17 +556,21 @@ func (c *Client) EvalFloat32(name string, dst, xs []float32) ([]float32, error) 
 	for i, b := range out {
 		dst[i] = math.Float32frombits(b)
 	}
-	return dst, nil
+	return dst[:len(xs)], nil
 }
 
 // EvalPosit32 evaluates the named posit32 function over ps into dst
-// (allocated when nil).
+// (allocated when nil; ErrShortDst when too short).
 func (c *Client) EvalPosit32(name string, dst, ps []posit32.Posit) ([]posit32.Posit, error) {
-	bits := make([]uint32, len(ps))
-	for i, p := range ps {
-		bits[i] = uint32(p)
+	if dst != nil && len(dst) < len(ps) {
+		return nil, ErrShortDst
 	}
-	out, status, err := c.EvalBits(TPosit32, name, bits)
+	bits := make([]uint32, 2*len(ps))
+	src, out0 := bits[:len(ps)], bits[len(ps):]
+	for i, p := range ps {
+		src[i] = uint32(p)
+	}
+	out, status, err := c.EvalBits(TPosit32, name, out0, src)
 	if err != nil {
 		return nil, err
 	}
@@ -161,5 +583,94 @@ func (c *Client) EvalPosit32(name string, dst, ps []posit32.Posit) ([]posit32.Po
 	for i, b := range out {
 		dst[i] = posit32.Posit(b)
 	}
-	return dst, nil
+	return dst[:len(ps)], nil
+}
+
+// Pool is a set of pipelined clients over pooled connections. Get
+// spreads callers round-robin and transparently redials connections
+// that died, so a long-lived caller rides out server restarts and
+// connection kills; each underlying Client multiplexes any number of
+// concurrent calls.
+type Pool struct {
+	addr    string
+	timeout time.Duration
+	next    atomic.Uint32
+
+	mu      sync.Mutex
+	clients []*Client
+	closed  bool
+}
+
+// NewPool dials size pipelined connections to addr. Dial failures are
+// returned immediately; the pool holds only healthy connections.
+func NewPool(addr string, size int, timeout time.Duration) (*Pool, error) {
+	if size <= 0 {
+		size = 1
+	}
+	p := &Pool{addr: addr, timeout: timeout, clients: make([]*Client, size)}
+	for i := range p.clients {
+		c, err := DialTimeout(addr, timeout)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.clients[i] = c
+	}
+	return p, nil
+}
+
+// Get returns the next connection round-robin, redialing it first if
+// it has failed since the last use.
+func (p *Pool) Get() (*Client, error) {
+	i := int(p.next.Add(1)) % p.size()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClientClosed
+	}
+	c := p.clients[i]
+	if c == nil || c.broken() {
+		fresh, err := DialTimeout(p.addr, p.timeout)
+		if err != nil {
+			return nil, err
+		}
+		if c != nil {
+			c.Close()
+		}
+		p.clients[i] = fresh
+		c = fresh
+	}
+	return c, nil
+}
+
+func (p *Pool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.clients)
+}
+
+// EvalBits runs Client.EvalBits on the next pooled connection.
+func (p *Pool) EvalBits(typ uint8, name string, dst, src []uint32) ([]uint32, uint8, error) {
+	c, err := p.Get()
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.EvalBits(typ, name, dst, src)
+}
+
+// Close closes every pooled connection.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	var first error
+	for _, c := range p.clients {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

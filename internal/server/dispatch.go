@@ -2,7 +2,9 @@ package server
 
 import (
 	"context"
+	"hash/maphash"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,7 +19,7 @@ import (
 	rlibm "rlibm32"
 )
 
-// batchKey identifies one dispatch queue: a (representation, function)
+// batchKey identifies one dispatch target: a (representation, function)
 // pair.
 type batchKey struct {
 	typ  uint8
@@ -33,10 +35,18 @@ type evalFunc func(dst, src []uint32)
 // own internal chunking).
 const evalChunk = 256
 
+// Conversion buffers between wire bit patterns and the kernels'
+// element types. Pooled (not stack arrays) because the slices are
+// passed to non-inlinable kernel closures and would otherwise escape —
+// heap-allocating two 1 KiB arrays per batch.
+var f32ConvPool = sync.Pool{New: func() any { return new([2 * evalChunk]float32) }}
+var positConvPool = sync.Pool{New: func() any { return new([2 * evalChunk]posit32.Posit) }}
+
 // wrapFloat32 adapts an rlibm batch kernel to bit-pattern slices.
 func wrapFloat32(f func(dst, xs []float32)) evalFunc {
 	return func(dst, src []uint32) {
-		var xs, ys [evalChunk]float32
+		conv := f32ConvPool.Get().(*[2 * evalChunk]float32)
+		xs, ys := conv[:evalChunk], conv[evalChunk:]
 		for off := 0; off < len(src); off += evalChunk {
 			n := min(len(src)-off, evalChunk)
 			for j := 0; j < n; j++ {
@@ -47,6 +57,7 @@ func wrapFloat32(f func(dst, xs []float32)) evalFunc {
 				dst[off+j] = math.Float32bits(ys[j])
 			}
 		}
+		f32ConvPool.Put(conv)
 	}
 }
 
@@ -54,7 +65,8 @@ func wrapFloat32(f func(dst, xs []float32)) evalFunc {
 // their bit patterns, so the conversion is a cast.
 func wrapPosit32(f func(dst, ps []posit32.Posit)) evalFunc {
 	return func(dst, src []uint32) {
-		var ps, qs [evalChunk]posit32.Posit
+		conv := positConvPool.Get().(*[2 * evalChunk]posit32.Posit)
+		ps, qs := conv[:evalChunk], conv[evalChunk:]
 		for off := 0; off < len(src); off += evalChunk {
 			n := min(len(src)-off, evalChunk)
 			for j := 0; j < n; j++ {
@@ -65,6 +77,7 @@ func wrapPosit32(f func(dst, ps []posit32.Posit)) evalFunc {
 				dst[off+j] = uint32(qs[j])
 			}
 		}
+		positConvPool.Put(conv)
 	}
 }
 
@@ -124,96 +137,218 @@ func buildEvaluators() map[batchKey]evalFunc {
 	return out
 }
 
-// pending is one caller's slice of a future coalesced batch.
-type pending struct {
-	src  []uint32
-	dst  []uint32 // subslice of the batch result buffer, valid once done closes
-	done chan struct{}
+// ---------------------------------------------------------------------
+// Pooled request/result carriers. Steady-state traffic allocates
+// nothing per frame: pendings, their src buffers and the shared batch
+// result buffers all recycle through sync.Pools.
+
+// batchResult is one coalesced batch's refcounted result buffer. Every
+// pending in the batch holds a subslice; the last release (after its
+// response bytes hit the wire) returns the buffer to the pool.
+type batchResult struct {
+	buf  []uint32
+	refs atomic.Int32
 }
 
-// queue accumulates pending requests for one batchKey between worker
-// pickups. scheduled is true while a wakeup for this queue is either
-// in the work channel or owned by a worker that has not finished
-// draining it — the invariant that keeps at most one signal per queue
-// in flight, which is what lets the work channel be sized at one slot
-// per key and never block a submitter.
+var batchResPool = sync.Pool{New: func() any { return new(batchResult) }}
+var batchSrcPool = sync.Pool{New: func() any { return new([]uint32) }}
+
+// sink receives completed pendings. The connection writer implements
+// it by enqueueing the response; the synchronous path (tests, old
+// callers) implements it with a channel.
+type sink interface{ deliver(p *pending) }
+
+// pending is one request's journey through the sharded dispatcher:
+// decoded input bits in, a refcounted result subslice out, delivered
+// asynchronously to its sink so no goroutine blocks per request.
+type pending struct {
+	ks    *keyState
+	src   []uint32 // input bits; pooled with the pending, capacity reused
+	out   sink
+	start time.Time
+
+	// Response fields, valid once delivered.
+	id     uint32
+	typ    uint8
+	status uint8
+	dst    []uint32 // subslice of batch.buf when status is StatusOK
+	batch  *batchResult
+}
+
+var pendingPool = sync.Pool{New: func() any { return new(pending) }}
+
+// getPending returns a pending with src sized for count values.
+func getPending(count int) *pending {
+	p := pendingPool.Get().(*pending)
+	if cap(p.src) < count {
+		p.src = make([]uint32, count)
+	}
+	p.src = p.src[:count]
+	return p
+}
+
+// release returns the pending (and, on the last reference, its batch's
+// result buffer) to the pools. Call exactly once, after the response
+// has been written or discarded.
+func (p *pending) release() {
+	if b := p.batch; b != nil {
+		p.batch = nil
+		if b.refs.Add(-1) == 0 {
+			batchResPool.Put(b)
+		}
+	}
+	p.ks, p.out, p.dst = nil, nil, nil
+	p.id, p.typ, p.status = 0, 0, 0
+	pendingPool.Put(p)
+}
+
+// ---------------------------------------------------------------------
+// Sharded coalescing dispatch.
+
+// keyState is the per-(type, function) dispatch descriptor, resolved
+// once per request with a single allocation-free map lookup: the
+// evaluator, the pre-resolved metrics handles, and one coalescing
+// queue per shard.
+type keyState struct {
+	key  batchKey
+	eval evalFunc
+	fm   *funcMetrics
+	hash uint32
+	qs   []*queue // one queue per shard
+}
+
+// queue accumulates pending requests for one (key, shard) between
+// worker pickups. scheduled is true while a wakeup for this queue is
+// either in the shard's work channel or owned by a worker that has not
+// finished draining it — the invariant that keeps at most one signal
+// per queue in flight, which is what lets each shard's work channel be
+// sized at one slot per key and never block a submitter.
 type queue struct {
-	key       batchKey
+	ks        *keyState
+	sh        *shard
 	mu        sync.Mutex
 	pend      []*pending
 	scheduled bool
 }
 
-// dispatcher owns the coalescing queues and the bounded worker pool.
+// shard is one lane of the dispatcher: its own wakeup channel, its own
+// inflight budget, and a worker that prefers it. Requests hash to a
+// shard by (key, connection), so a hot (function, type) pair spreads
+// across every shard instead of serializing all its submitters on one
+// queue mutex; each shard coalesces its own stream into batches.
+type shard struct {
+	work     chan *queue
+	inflight atomic.Int64
+}
+
+// dispatcher owns the sharded coalescing queues and the worker pool —
+// one worker per shard, with work-stealing when a worker's own shard
+// is idle.
 //
-// Coalescing happens by contention: a submit appends to its key's
-// queue and wakes a worker; while every worker is busy evaluating,
-// later submits keep appending, and whichever worker next drains the
-// queue takes them all as one batch. Under light load batches are
-// whatever arrived (often a single request, dispatched immediately —
-// no added latency); under heavy load batches grow toward maxBatch and
-// the per-request overhead amortizes away. This is the server-side
-// analogue of the paper's observation that the generated tables are
-// fastest when the dispatch cost is spread over many evaluations.
+// Coalescing happens by contention, per shard: a submit appends to its
+// (key, shard) queue and wakes a worker; while every worker is busy
+// evaluating, later submits keep appending, and whichever worker next
+// drains the queue takes them all as one batch. Under light load
+// batches are whatever arrived (often a single request, dispatched
+// immediately — no added latency); under heavy load batches grow
+// toward maxBatch and the per-request overhead amortizes away.
 type dispatcher struct {
-	eval        map[batchKey]evalFunc
-	queues      map[batchKey]*queue
-	work        chan *queue
-	workers     int
+	byType [8]map[string]*keyState // wire type code → name → state (alloc-free lookup)
+	keys   []*keyState
+	shards []*shard
+
+	// signal is a counting semaphore with one token per queue wakeup
+	// across all shards (wakeup is enqueued before its token, so a
+	// woken worker always finds one). It is what lets a worker block
+	// when the whole dispatcher is idle yet steal from any shard the
+	// moment one has work.
+	signal chan struct{}
+
 	maxBatch    int
-	maxInflight int64
-	inflight    atomic.Int64 // values admitted but not yet evaluated
+	maxInflight int64 // global admission bound (values)
+	shardMax    int64 // per-shard admission bound (values)
+	inflight    atomic.Int64
 	m           *Metrics
 	wg          sync.WaitGroup
 }
 
-func newDispatcher(eval map[batchKey]evalFunc, workers, maxBatch int, maxInflight int64, m *Metrics) *dispatcher {
+var keySeed = maphash.MakeSeed()
+
+func newDispatcher(eval map[batchKey]evalFunc, shards, maxBatch int, maxInflight int64, m *Metrics) *dispatcher {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
 	d := &dispatcher{
-		eval:        eval,
-		queues:      make(map[batchKey]*queue, len(eval)),
-		work:        make(chan *queue, len(eval)),
-		workers:     workers,
 		maxBatch:    maxBatch,
 		maxInflight: maxInflight,
-		m:           m,
+		// A shard may run hot (every connection hashing one key there):
+		// give each shard twice its fair share before the per-shard
+		// bound sheds, with the global bound as the hard ceiling. With
+		// one shard the per-shard bound never binds before the global.
+		shardMax: 2 * maxInflight / int64(shards),
+		m:        m,
 	}
-	for k := range eval {
-		d.queues[k] = &queue{key: k}
+	for i := 0; i < shards; i++ {
+		d.shards = append(d.shards, &shard{work: make(chan *queue, len(eval))})
 	}
-	for i := 0; i < workers; i++ {
+	d.signal = make(chan struct{}, shards*len(eval))
+	for k, f := range eval {
+		ks := &keyState{
+			key:  k,
+			eval: f,
+			fm:   m.forKey(k),
+			hash: uint32(maphash.String(keySeed, k.name)) + uint32(k.typ),
+			qs:   make([]*queue, shards),
+		}
+		for i := range ks.qs {
+			ks.qs[i] = &queue{ks: ks, sh: d.shards[i]}
+		}
+		if d.byType[k.typ] == nil {
+			d.byType[k.typ] = make(map[string]*keyState)
+		}
+		d.byType[k.typ][k.name] = ks
+		d.keys = append(d.keys, ks)
+	}
+	for i := 0; i < shards; i++ {
 		d.wg.Add(1)
-		go d.worker()
+		go d.worker(i)
 	}
 	return d
 }
 
-// submit queues src for evaluation and blocks until the coalesced
-// batch containing it has been evaluated. It returns the result bits
-// and StatusOK, or nil and an error status (StatusUnknownFunc for a
-// key outside the registry, StatusBusy when admitting the request
-// would exceed the inflight bound — the caller sheds load instead of
-// queueing without limit).
-func (d *dispatcher) submit(key batchKey, src []uint32) ([]uint32, uint8) {
-	q, ok := d.queues[key]
-	if !ok {
-		if TypeWidth(key.typ) == 0 {
-			return nil, StatusUnknownType
-		}
-		return nil, StatusUnknownFunc
+// lookup resolves a wire (type, name) to its dispatch state without
+// allocating (the map index on a converted byte slice takes the
+// runtime's no-copy fast path). nil means unknown function/type.
+func (d *dispatcher) lookup(typ uint8, name []byte) *keyState {
+	if int(typ) >= len(d.byType) || d.byType[typ] == nil {
+		return nil
 	}
-	n := int64(len(src))
-	if n == 0 {
-		return nil, StatusOK
-	}
+	return d.byType[typ][string(name)]
+}
+
+// submit admits p — whose ks, src, id, typ, out and start fields the
+// caller has filled — into the shard selected by (key, hint) and
+// returns StatusOK, or returns StatusBusy without taking ownership
+// when admitting len(p.src) values would exceed the global or
+// per-shard inflight bound. On StatusOK the pending is delivered to
+// p.out once its coalesced batch has been evaluated; on StatusBusy the
+// caller still owns p and responds itself.
+func (d *dispatcher) submit(p *pending, hint uint32) uint8 {
+	n := int64(len(p.src))
 	if d.inflight.Add(n) > d.maxInflight {
 		d.inflight.Add(-n)
-		d.m.shedValues.Add(uint64(n))
-		if fm := d.m.forKey(key); fm != nil {
-			fm.Busy.Add(1)
-		}
-		return nil, StatusBusy
+		d.shed(p.ks, n)
+		return StatusBusy
 	}
-	p := &pending{src: src, done: make(chan struct{})}
+	q := p.ks.qs[(p.ks.hash+hint)%uint32(len(d.shards))]
+	sh := q.sh
+	if sh.inflight.Add(n) > d.shardMax {
+		sh.inflight.Add(-n)
+		d.inflight.Add(-n)
+		d.m.shardShed.Add(uint64(n))
+		d.shed(p.ks, n)
+		return StatusBusy
+	}
 	q.mu.Lock()
 	q.pend = append(q.pend, p)
 	wake := !q.scheduled
@@ -222,74 +357,173 @@ func (d *dispatcher) submit(key batchKey, src []uint32) ([]uint32, uint8) {
 	}
 	q.mu.Unlock()
 	if wake {
-		d.work <- q // never blocks: ≤1 signal per queue, cap = #queues
+		sh.work <- q           // never blocks: ≤1 signal per queue, cap = #keys
+		d.signal <- struct{}{} // token follows its wakeup
 	}
-	<-p.done
-	return p.dst, StatusOK
+	return StatusOK
 }
 
-// worker drains queues: it takes up to maxBatch values of pending
-// requests from a woken queue, concatenates them, runs the batch
-// kernel once, and hands each caller its subslice of the results. If
-// the queue still holds work after the grab, the signal is re-armed
-// *before* evaluating, so another worker can batch the remainder
-// concurrently — a hot key is not serialized onto one core.
-func (d *dispatcher) worker() {
+func (d *dispatcher) shed(ks *keyState, n int64) {
+	d.m.shedValues.Add(uint64(n))
+	if ks.fm != nil {
+		ks.fm.Busy.Add(1)
+	}
+}
+
+// worker is shard self's lane: it sleeps on the signal semaphore, then
+// drains a woken queue — preferring its own shard, stealing from any
+// other shard otherwise, so an idle core always helps a busy one.
+func (d *dispatcher) worker(self int) {
 	defer d.wg.Done()
-	for q := range d.work {
-		q.mu.Lock()
-		if len(q.pend) == 0 {
-			q.scheduled = false
-			q.mu.Unlock()
-			continue
-		}
-		// Take whole pendings up to maxBatch values (always at least
-		// one, so an oversized single request still runs).
-		take, vals := 0, 0
-		for take < len(q.pend) && (take == 0 || vals+len(q.pend[take].src) <= d.maxBatch) {
-			vals += len(q.pend[take].src)
-			take++
-		}
-		batch := q.pend[:take:take]
-		q.pend = q.pend[take:]
-		resignal := len(q.pend) > 0
-		if !resignal {
-			q.pend = nil // release the drained backing array
-			q.scheduled = false
-		}
-		q.mu.Unlock()
-		if resignal {
-			d.work <- q // hand the remainder to another worker
-		}
-		d.runBatch(q.key, batch, vals)
+	var scratch []*pending
+	for range d.signal {
+		q := d.grab(self)
+		scratch = d.drain(q, scratch)
 	}
 }
 
-// runBatch evaluates one coalesced batch and publishes the results.
-func (d *dispatcher) runBatch(key batchKey, batch []*pending, vals int) {
-	src := make([]uint32, 0, vals)
+// grab dequeues one woken queue, own shard first. The signal token the
+// caller holds guarantees at least one wakeup exists somewhere, so the
+// scan terminates; a miss can only be another worker racing us to a
+// different wakeup than our token's, in which case theirs is ours to
+// find on the next pass.
+func (d *dispatcher) grab(self int) *queue {
+	n := len(d.shards)
+	for spin := 0; ; spin++ {
+		for i := 0; i < n; i++ {
+			sh := d.shards[(self+i)%n]
+			select {
+			case q := <-sh.work:
+				if i != 0 {
+					d.m.steals.Add(1)
+				}
+				return q
+			default:
+			}
+		}
+		if spin > 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// drain takes up to maxBatch values of pending requests from a woken
+// queue, concatenates them, runs the batch kernel once, and delivers
+// each caller's subslice of the results. If the queue still holds work
+// after the grab, the signal is re-armed *before* evaluating, so
+// another worker (or a stealing neighbor) can batch the remainder
+// concurrently — a hot (key, shard) pair is not serialized behind one
+// evaluation. scratch is the worker's reusable pending array, returned
+// for the next call.
+func (d *dispatcher) drain(q *queue, scratch []*pending) []*pending {
+	q.mu.Lock()
+	if len(q.pend) == 0 {
+		q.scheduled = false
+		q.mu.Unlock()
+		return scratch
+	}
+	// Take whole pendings up to maxBatch values (always at least one,
+	// so an oversized single request still runs). Pendings move to the
+	// worker's scratch array so the queue's backing array survives —
+	// steady state appends into it without reallocating.
+	take, vals := 0, 0
+	for take < len(q.pend) && (take == 0 || vals+len(q.pend[take].src) <= d.maxBatch) {
+		vals += len(q.pend[take].src)
+		take++
+	}
+	scratch = append(scratch[:0], q.pend[:take]...)
+	rest := copy(q.pend, q.pend[take:])
+	q.pend = q.pend[:rest]
+	resignal := rest > 0
+	if !resignal {
+		q.scheduled = false
+	}
+	q.mu.Unlock()
+	if resignal {
+		q.sh.work <- q
+		d.signal <- struct{}{}
+	}
+	d.runBatch(q, scratch, vals)
+	return scratch
+}
+
+// runBatch evaluates one coalesced batch and delivers the results.
+func (d *dispatcher) runBatch(q *queue, batch []*pending, vals int) {
+	srcp := batchSrcPool.Get().(*[]uint32)
+	src := (*srcp)[:0]
 	for _, p := range batch {
 		src = append(src, p.src...)
 	}
-	dst := make([]uint32, vals)
-	d.eval[key](dst, src)
+	res := batchResPool.Get().(*batchResult)
+	if cap(res.buf) < vals {
+		res.buf = make([]uint32, vals)
+	}
+	dst := res.buf[:vals]
+	res.refs.Store(int32(len(batch)))
+	q.ks.eval(dst, src)
+	*srcp = src
+	batchSrcPool.Put(srcp)
+
+	now := time.Now()
 	off := 0
 	for _, p := range batch {
 		p.dst = dst[off : off+len(p.src)]
 		off += len(p.src)
-		close(p.done)
+		p.batch = res
+		p.status = StatusOK
+		if q.ks.fm != nil {
+			q.ks.fm.lat.ObserveDuration(now.Sub(p.start))
+		}
+		p.out.deliver(p)
 	}
 	d.m.Batches.Add(1)
 	d.m.BatchedValues.Add(uint64(vals))
 	d.m.batchSize.Observe(uint64(vals))
+	q.sh.inflight.Add(-int64(vals))
 	d.inflight.Add(-int64(vals))
+}
+
+// syncSink adapts the asynchronous delivery to a blocking call for
+// tests and simple callers.
+type syncSink struct{ ch chan *pending }
+
+func (s *syncSink) deliver(p *pending) { s.ch <- p }
+
+// evalSync submits src for key and blocks until the coalesced batch
+// containing it has been evaluated. It copies the results into a fresh
+// slice (the batch buffer is recycled) — the serving path uses the
+// zero-copy asynchronous submit instead.
+func (d *dispatcher) evalSync(key batchKey, hint uint32, src []uint32) ([]uint32, uint8) {
+	ks := d.lookup(key.typ, []byte(key.name))
+	if ks == nil {
+		if TypeWidth(key.typ) == 0 {
+			return nil, StatusUnknownType
+		}
+		return nil, StatusUnknownFunc
+	}
+	if len(src) == 0 {
+		return nil, StatusOK
+	}
+	p := getPending(len(src))
+	copy(p.src, src)
+	s := &syncSink{ch: make(chan *pending, 1)}
+	p.ks, p.out, p.start = ks, s, time.Now()
+	if st := d.submit(p, hint); st != StatusOK {
+		p.release()
+		return nil, st
+	}
+	<-s.ch
+	out := make([]uint32, len(p.dst))
+	copy(out, p.dst)
+	p.release()
+	return out, StatusOK
 }
 
 // shutdown waits for all admitted work to finish, then stops the
 // workers. The server guarantees no new submits arrive before calling
 // this (connections are drained first), so inflight can only fall;
-// once it reaches zero no queue holds pendings and no wakeups can be
-// enqueued, making close(work) safe.
+// once it reaches zero no queue holds pendings and no wakeups or
+// signal tokens can be outstanding, making close(signal) safe.
 func (d *dispatcher) shutdown(ctx context.Context) error {
 	t := time.NewTicker(time.Millisecond)
 	defer t.Stop()
@@ -300,7 +534,7 @@ func (d *dispatcher) shutdown(ctx context.Context) error {
 		case <-t.C:
 		}
 	}
-	close(d.work)
+	close(d.signal)
 	d.wg.Wait()
 	return nil
 }

@@ -34,6 +34,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
+	"unsafe"
 
 	"rlibm32/internal/libm"
 )
@@ -171,7 +173,27 @@ var (
 	ErrFrameSize  = errors.New("server: frame exceeds maximum size")
 )
 
-// appendValues encodes bit patterns at the given width.
+// hostLE reports whether the host is little-endian. The wire format is
+// little-endian, so on little-endian hosts (every platform this repo
+// targets today) the 4-byte-wide value payloads are the in-memory
+// []uint32 representation and can be moved with a single copy — or,
+// on the write side, referenced in place with no copy at all.
+var hostLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// bitsAsBytes reinterprets a []uint32 as its in-memory bytes without
+// copying. Callers must have checked hostLE; the result aliases bits.
+func bitsAsBytes(bits []uint32) []byte {
+	if len(bits) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&bits[0])), 4*len(bits))
+}
+
+// appendValues encodes bit patterns at the given width. On
+// little-endian hosts the 4-byte path is one bulk copy.
 func appendValues(dst []byte, bits []uint32, width int) []byte {
 	if width == 2 {
 		for _, b := range bits {
@@ -179,26 +201,63 @@ func appendValues(dst []byte, bits []uint32, width int) []byte {
 		}
 		return dst
 	}
+	if hostLE {
+		return append(dst, bitsAsBytes(bits)...)
+	}
 	for _, b := range bits {
 		dst = binary.LittleEndian.AppendUint32(dst, b)
 	}
 	return dst
 }
 
+// decodeValuesInto decodes len(dst) bit patterns from payload at the
+// given width into dst, allocating nothing. On little-endian hosts the
+// 4-byte path is one bulk copy.
+func decodeValuesInto(dst []uint32, payload []byte, width int) {
+	if width == 2 {
+		for i := range dst {
+			dst[i] = uint32(binary.LittleEndian.Uint16(payload[2*i:]))
+		}
+		return
+	}
+	if hostLE {
+		copy(bitsAsBytes(dst), payload[:4*len(dst)])
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(payload[4*i:])
+	}
+}
+
 // decodeValues decodes count bit patterns at the given width into a
 // fresh slice.
 func decodeValues(payload []byte, count, width int) []uint32 {
 	bits := make([]uint32, count)
-	if width == 2 {
-		for i := range bits {
-			bits[i] = uint32(binary.LittleEndian.Uint16(payload[2*i:]))
-		}
-		return bits
-	}
-	for i := range bits {
-		bits[i] = binary.LittleEndian.Uint32(payload[4*i:])
-	}
+	decodeValuesInto(bits, payload, width)
 	return bits
+}
+
+// appendRequestHeader appends the 16-byte fixed request header plus
+// the function name (the frame's length prefix included) to dst. The
+// caller appends or scatter-gathers the value payload separately.
+func appendRequestHeader(dst []byte, op, typ uint8, name string, id uint32, count, width int) []byte {
+	frameLen := reqHeaderLen + len(name) + count*width
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameLen))
+	dst = append(dst, ProtoVersion, op, typ, uint8(len(name)))
+	dst = binary.LittleEndian.AppendUint32(dst, id)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(count))
+	return append(dst, name...)
+}
+
+// appendResponseHeader appends the 16-byte response frame header
+// (length prefix included) to dst; the value payload — count values at
+// width bytes — travels separately (net.Buffers scatter-gather).
+func appendResponseHeader(dst []byte, status, typ uint8, id uint32, count, width int) []byte {
+	frameLen := respHeaderLen + count*width
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameLen))
+	dst = append(dst, ProtoVersion, status, typ, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, id)
+	return binary.LittleEndian.AppendUint32(dst, uint32(count))
 }
 
 // AppendRequest appends the wire encoding of req to dst and returns
@@ -307,25 +366,69 @@ func DecodeResponse(frame []byte) (*Response, error) {
 	return resp, nil
 }
 
-// readFrame reads one length-prefixed frame body into buf (grown as
-// needed) and returns the body. A length above maxFrame returns
-// ErrFrameSize without consuming the body — the connection must be
-// closed, since the stream position is no longer trustworthy.
-func readFrame(r *bufio.Reader, buf []byte, maxFrame int) ([]byte, []byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, buf, err
+// frameKeep is the frame-buffer capacity a frameReader retains across
+// reads. Buffers grow to the next power of two above the largest frame
+// seen (so a steady stream of equal-sized frames never reallocates),
+// but a one-off giant frame does not pin its allocation: anything
+// above frameKeep is dropped once the next, smaller frame arrives.
+const frameKeep = 64 << 10
+
+// frameReader reads length-prefixed frame bodies into one reused
+// buffer. The growth policy is the point: reject oversize lengths
+// before allocating anything, round allocations up to a power of two
+// (capped at max) so steady-state traffic reuses one buffer with zero
+// allocations, and shrink back after a burst so a single huge frame
+// does not hold its memory for the connection's lifetime.
+type frameReader struct {
+	buf []byte
+	max int     // reject frames above this, pre-allocation
+	hdr [4]byte // length-prefix scratch (a field so reads don't allocate)
+}
+
+// read returns the next frame body. The returned slice aliases the
+// reader's buffer and is valid until the next read call. A length
+// above max returns ErrFrameSize without consuming the body — the
+// connection must be closed, since the stream position is no longer
+// trustworthy.
+func (fr *frameReader) read(r *bufio.Reader) ([]byte, error) {
+	if _, err := io.ReadFull(r, fr.hdr[:]); err != nil {
+		return nil, err
 	}
-	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	if n > maxFrame {
-		return nil, buf, fmt.Errorf("%w: %d > %d", ErrFrameSize, n, maxFrame)
+	n := int(binary.LittleEndian.Uint32(fr.hdr[:]))
+	if n > fr.max {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameSize, n, fr.max)
 	}
-	if cap(buf) < n {
-		buf = make([]byte, n)
+	if cap(fr.buf) < n || (cap(fr.buf) > frameKeep && n <= frameKeep) {
+		fr.buf = make([]byte, frameAlloc(n, fr.max))
 	}
-	buf = buf[:n]
+	buf := fr.buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, buf, fmt.Errorf("%w: body truncated: %v", ErrBadFrame, err)
+		return nil, fmt.Errorf("%w: body truncated: %v", ErrBadFrame, err)
 	}
-	return buf, buf, nil
+	return buf, nil
+}
+
+// frameAlloc rounds a needed size up to the next power of two, clamped
+// to [512, max].
+func frameAlloc(n, max int) int {
+	if n < 512 {
+		return 512
+	}
+	if n >= max {
+		return max
+	}
+	p := 1 << bits.Len(uint(n-1))
+	if p > max {
+		return max
+	}
+	return p
+}
+
+// readFrame reads one length-prefixed frame body into buf (grown under
+// the frameReader policy) and returns the body plus the buffer to
+// reuse on the next call.
+func readFrame(r *bufio.Reader, buf []byte, maxFrame int) ([]byte, []byte, error) {
+	fr := frameReader{buf: buf, max: maxFrame}
+	frame, err := fr.read(r)
+	return frame, fr.buf, err
 }

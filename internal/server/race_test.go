@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that this binary was built with the race
+// detector, which makes sync.Pool intentionally drop items — the
+// zero-alloc gates are meaningless there.
+const raceEnabled = true

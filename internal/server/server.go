@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -18,7 +19,9 @@ type Config struct {
 	// Addr is the TCP listen address for ListenAndServe
 	// (default "127.0.0.1:7043").
 	Addr string
-	// Workers bounds the evaluation worker pool (default GOMAXPROCS).
+	// Workers bounds the evaluation worker pool, which is also the
+	// dispatcher's shard count — one coalescing lane per worker
+	// (default GOMAXPROCS).
 	Workers int
 	// MaxFrame bounds a single frame's payload in bytes
 	// (default DefaultMaxFrame). Oversized frames close the connection.
@@ -28,12 +31,17 @@ type Config struct {
 	MaxBatch int
 	// MaxInflight bounds the values admitted but not yet evaluated,
 	// across all functions; beyond it requests are shed with
-	// StatusBusy (default 1 << 20).
+	// StatusBusy (default 1 << 20). Each dispatch shard additionally
+	// bounds its own admissions at twice its fair share.
 	MaxInflight int64
+	// ConnInflight bounds the pipelined requests in flight on one
+	// connection; beyond it the connection's reader stops consuming
+	// frames until responses drain (default 64).
+	ConnInflight int
 	// ReadTimeout is the per-frame read deadline — it bounds both idle
 	// connections and half-written frames (default 2 min).
 	ReadTimeout time.Duration
-	// WriteTimeout is the per-response write deadline (default 30 s).
+	// WriteTimeout is the per-flush write deadline (default 30 s).
 	WriteTimeout time.Duration
 }
 
@@ -54,6 +62,9 @@ func (c *Config) withDefaults() Config {
 	if out.MaxInflight <= 0 {
 		out.MaxInflight = 1 << 20
 	}
+	if out.ConnInflight <= 0 {
+		out.ConnInflight = 64
+	}
 	if out.ReadTimeout <= 0 {
 		out.ReadTimeout = 2 * time.Minute
 	}
@@ -64,8 +75,9 @@ func (c *Config) withDefaults() Config {
 }
 
 // Server is the rlibmd daemon: it accepts connections, decodes
-// requests, funnels them through the coalescing dispatcher, and writes
-// bit-exact responses.
+// requests, funnels them through the sharded coalescing dispatcher,
+// and writes bit-exact responses, out of order, with scatter-gather
+// frame batching.
 type Server struct {
 	cfg  Config
 	disp *dispatcher
@@ -76,6 +88,7 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	draining atomic.Bool
 	connWG   sync.WaitGroup
+	connSeq  atomic.Uint32
 }
 
 // New builds a Server (it does not listen yet). The dispatch table is
@@ -151,7 +164,7 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Shutdown gracefully drains the server: stop accepting, wake blocked
-// readers so connections finish their in-flight request and close,
+// readers so connections finish their in-flight requests and close,
 // wait for every connection, then stop the workers once all admitted
 // batches have been evaluated. It returns ctx.Err() if the context
 // expires first (remaining connections are then closed hard).
@@ -166,7 +179,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	now := time.Now()
 	for c := range s.conns {
 		// Wake readers blocked on the next frame; handlers that are
-		// mid-request finish and write their response first.
+		// mid-request finish and write their responses first.
 		c.SetReadDeadline(now)
 	}
 	s.mu.Unlock()
@@ -196,9 +209,146 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// handleConn runs one connection: read frame, evaluate, respond.
-// Requests on a connection are processed in order, one at a time;
-// concurrency (and hence batching) comes from many connections.
+// maxFlushFrames bounds the response frames gathered into one writev
+// (each frame contributes up to two iovecs; the kernel caps a writev
+// at 1024).
+const maxFlushFrames = 256
+
+// connWriter drains completed pendings for one connection and writes
+// their response frames with scatter-gather batching: headers land in
+// a reused arena, 4-byte payloads are referenced in place straight out
+// of the batch result buffers (zero copy), and everything queued at
+// flush time goes to the kernel in a single writev. Admission tokens
+// (sem) released only after a frame's bytes are written are what bound
+// the respq, so dispatch workers never block delivering to it.
+type connWriter struct {
+	s           *Server
+	conn        net.Conn
+	respq       chan *pending
+	sem         chan struct{} // cap ConnInflight; reader acquires, writer releases
+	outstanding atomic.Int64
+	readerDone  chan struct{}
+
+	hdrs   []byte      // header arena, reset per flush
+	arena  []byte      // 16-bit payload packing arena, reset per flush
+	bufs   net.Buffers // iovec list for the next writev
+	wire   net.Buffers // consumable header handed to WriteTo (a field so no flush allocates)
+	sent   []*pending  // pendings whose frames are queued in bufs
+	nbytes int64
+	failed bool
+}
+
+func (w *connWriter) deliver(p *pending) { w.respq <- p }
+
+// admit takes one pipelining slot; it blocks while ConnInflight
+// responses are outstanding, which is the per-connection backpressure.
+func (w *connWriter) admit() {
+	w.sem <- struct{}{}
+	w.outstanding.Add(1)
+}
+
+// add queues one response frame into the pending writev.
+func (w *connWriter) add(p *pending) {
+	width := TypeWidth(p.typ)
+	count := 0
+	if p.status == StatusOK {
+		count = len(p.dst)
+	}
+	off := len(w.hdrs)
+	w.hdrs = appendResponseHeader(w.hdrs, p.status, p.typ, p.id, count, width)
+	w.bufs = append(w.bufs, w.hdrs[off:len(w.hdrs):len(w.hdrs)])
+	w.nbytes += int64(len(w.hdrs) - off)
+	if count > 0 {
+		var payload []byte
+		if width == 4 && hostLE {
+			payload = bitsAsBytes(p.dst) // zero copy: the batch buffer is the wire payload
+		} else {
+			poff := len(w.arena)
+			w.arena = appendValues(w.arena, p.dst, width)
+			payload = w.arena[poff:len(w.arena):len(w.arena)]
+		}
+		w.bufs = append(w.bufs, payload)
+		w.nbytes += int64(len(payload))
+	}
+	w.sent = append(w.sent, p)
+}
+
+// flush writes every queued frame in one scatter-gather writev, then
+// releases the batch buffers, pendings and pipelining slots.
+func (w *connWriter) flush() {
+	if len(w.sent) == 0 {
+		return
+	}
+	if !w.failed {
+		w.conn.SetWriteDeadline(time.Now().Add(w.s.cfg.WriteTimeout))
+		w.wire = w.bufs // WriteTo consumes its receiver; keep ours intact
+		if _, err := w.wire.WriteTo(w.conn); err != nil {
+			// The connection is gone. Keep draining and discarding so
+			// dispatch workers and the reader are never blocked on it.
+			w.failed = true
+			w.conn.Close()
+		} else {
+			w.s.m.writevs.Add(1)
+			w.s.m.writevFrames.Add(uint64(len(w.sent)))
+			w.s.m.writevBytes.Add(uint64(w.nbytes))
+		}
+	}
+	for i, p := range w.sent {
+		p.release()
+		w.sent[i] = nil
+		w.outstanding.Add(-1)
+		<-w.sem
+	}
+	for i := range w.bufs {
+		w.bufs[i] = nil
+	}
+	w.bufs, w.sent = w.bufs[:0], w.sent[:0]
+	w.hdrs, w.arena = w.hdrs[:0], w.arena[:0]
+	w.nbytes = 0
+}
+
+// run is the connection's writer goroutine: it batches whatever
+// responses have completed into one writev and flushes as soon as no
+// more are immediately available — under light load every response
+// flushes alone (no added latency), under pipelined load dozens of
+// frames share one syscall.
+func (w *connWriter) run() {
+	draining := false
+	for {
+		var p *pending
+		if draining {
+			if w.outstanding.Load() == 0 {
+				return
+			}
+			p = <-w.respq
+		} else {
+			select {
+			case p = <-w.respq:
+			case <-w.readerDone:
+				draining = true
+				continue
+			}
+		}
+		w.add(p)
+		for len(w.sent) < maxFlushFrames {
+			select {
+			case p2 := <-w.respq:
+				w.add(p2)
+				continue
+			default:
+			}
+			break
+		}
+		w.flush()
+	}
+}
+
+// handleConn runs one connection: a reader loop decoding frames into
+// pooled pendings and submitting them to the sharded dispatcher, and a
+// writer goroutine streaming completed responses back, out of order
+// (responses carry the request ID). Up to ConnInflight requests ride
+// the pipeline concurrently per connection; concurrency across
+// connections additionally feeds the coalescer.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.connWG.Done()
 	s.m.Conns.Add(1)
@@ -210,9 +360,26 @@ func (s *Server) handleConn(conn net.Conn) {
 		conn.Close()
 	}()
 
+	w := &connWriter{
+		s:          s,
+		conn:       conn,
+		respq:      make(chan *pending, s.cfg.ConnInflight),
+		sem:        make(chan struct{}, s.cfg.ConnInflight),
+		readerDone: make(chan struct{}),
+	}
+	writerDone := make(chan struct{})
+	go func() {
+		w.run()
+		close(writerDone)
+	}()
+	defer func() {
+		close(w.readerDone)
+		<-writerDone
+	}()
+
+	hint := s.connSeq.Add(1)
 	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
-	var readBuf, writeBuf []byte
+	fr := frameReader{max: s.cfg.MaxFrame}
 	for {
 		// Deadline first, then the draining check: Shutdown sets
 		// draining before stamping an immediate deadline on every
@@ -222,8 +389,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		if s.draining.Load() {
 			return
 		}
-		frame, buf, err := readFrame(br, readBuf, s.cfg.MaxFrame)
-		readBuf = buf
+		frame, err := fr.read(br)
 		if err != nil {
 			// Clean EOF / closed / deadline: just close. A protocol
 			// violation gets a final error frame before closing (the
@@ -231,71 +397,90 @@ func (s *Server) handleConn(conn net.Conn) {
 			// connection cannot continue either way).
 			if errors.Is(err, ErrFrameSize) {
 				s.m.Malformed.Add(1)
-				s.writeResponse(conn, bw, &writeBuf, &Response{Status: StatusTooLarge})
+				s.respond(w, 0, 0, StatusTooLarge)
 			} else if errors.Is(err, ErrBadFrame) {
 				s.m.Malformed.Add(1)
-				s.writeResponse(conn, bw, &writeBuf, &Response{Status: StatusMalformed})
+				s.respond(w, 0, 0, StatusMalformed)
 			}
 			return
 		}
-		req, err := DecodeRequest(frame)
-		if err != nil {
-			s.m.Malformed.Add(1)
-			s.writeResponse(conn, bw, &writeBuf, &Response{Status: StatusMalformed})
+		if len(frame) < reqHeaderLen || frame[0] != ProtoVersion {
+			s.malformed(w, frame)
 			return
 		}
-		resp := s.process(req)
-		if !s.writeResponse(conn, bw, &writeBuf, resp) {
+		op, typ, nameLen := frame[1], frame[2], int(frame[3])
+		id := binary.LittleEndian.Uint32(frame[4:])
+		count := int(binary.LittleEndian.Uint32(frame[8:]))
+		if op == OpPing {
+			if nameLen != 0 || count != 0 || len(frame) != reqHeaderLen {
+				s.malformed(w, frame)
+				return
+			}
+			s.respond(w, id, typ, StatusOK)
+			continue
+		}
+		width := TypeWidth(typ)
+		if op != OpEval || width == 0 ||
+			len(frame) != reqHeaderLen+nameLen+count*width {
+			s.malformed(w, frame)
 			return
+		}
+		name := frame[reqHeaderLen : reqHeaderLen+nameLen]
+		s.m.Requests.Add(1)
+		if s.draining.Load() {
+			s.m.ErrFrames.Add(1)
+			s.respond(w, id, typ, StatusShutdown)
+			return
+		}
+		ks := s.disp.lookup(typ, name)
+		if ks == nil {
+			s.m.ErrFrames.Add(1)
+			s.respond(w, id, typ, StatusUnknownFunc)
+			continue
+		}
+		if count == 0 {
+			if ks.fm != nil {
+				ks.fm.Requests.Add(1)
+			}
+			s.respond(w, id, typ, StatusOK)
+			continue
+		}
+		p := getPending(count)
+		decodeValuesInto(p.src, frame[reqHeaderLen+nameLen:], width)
+		p.ks, p.out, p.start = ks, w, time.Now()
+		p.id, p.typ = id, typ
+		w.admit()
+		if st := s.disp.submit(p, hint); st != StatusOK {
+			s.m.ErrFrames.Add(1)
+			p.status, p.dst, p.batch = st, nil, nil
+			w.respq <- p // slot already held; deliver the error ourselves
+			continue
+		}
+		if ks.fm != nil {
+			ks.fm.Requests.Add(1)
+			ks.fm.Values.Add(uint64(count))
 		}
 	}
 }
 
-// process executes one decoded request and builds its response.
-func (s *Server) process(req *Request) *Response {
-	resp := &Response{ID: req.ID, Type: req.Type}
-	if req.Op == OpPing {
-		resp.Status = StatusOK
-		return resp
-	}
-	if s.draining.Load() {
-		resp.Status = StatusShutdown
-		s.m.ErrFrames.Add(1)
-		return resp
-	}
-	key := batchKey{typ: req.Type, name: req.Name}
-	fm := s.m.forKey(key)
-	s.m.Requests.Add(1)
-	start := time.Now()
-	bits, status := s.disp.submit(key, req.Bits)
-	resp.Status = status
-	if status != StatusOK {
-		s.m.ErrFrames.Add(1)
-		return resp
-	}
-	if fm != nil {
-		fm.Requests.Add(1)
-		fm.Values.Add(uint64(len(req.Bits)))
-		fm.lat.ObserveDuration(time.Since(start))
-	}
-	resp.Bits = bits
-	return resp
+// respond enqueues a payload-free response (ping, empty eval, or an
+// error status) through the writer, in arrival order with the data
+// path.
+func (s *Server) respond(w *connWriter, id uint32, typ, status uint8) {
+	p := getPending(0)
+	p.id, p.typ, p.status = id, typ, status
+	p.out = w
+	w.admit()
+	w.respq <- p
 }
 
-// writeResponse encodes and flushes one response under the write
-// deadline; it reports whether the connection is still usable.
-func (s *Server) writeResponse(conn net.Conn, bw *bufio.Writer, scratch *[]byte, resp *Response) bool {
-	out, err := AppendResponse((*scratch)[:0], resp)
-	if err != nil {
-		// Unencodable response (error status echoing a garbage type
-		// code with values — cannot happen for error paths, which
-		// carry no values). Drop the type code and report the error.
-		out, _ = AppendResponse((*scratch)[:0], &Response{ID: resp.ID, Status: resp.Status})
+// malformed counts and answers a protocol violation; the caller closes
+// the connection (the stream position is untrustworthy).
+func (s *Server) malformed(w *connWriter, frame []byte) {
+	s.m.Malformed.Add(1)
+	id := uint32(0)
+	if len(frame) >= 8 {
+		id = binary.LittleEndian.Uint32(frame[4:])
 	}
-	*scratch = out
-	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	if _, err := bw.Write(out); err != nil {
-		return false
-	}
-	return bw.Flush() == nil
+	s.respond(w, id, 0, StatusMalformed)
 }

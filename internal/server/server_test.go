@@ -20,7 +20,7 @@ import (
 
 // startServer launches an in-process server on a loopback port and
 // returns it with its address and a cleanup-registered shutdown.
-func startServer(t *testing.T, cfg Config) (*Server, string) {
+func startServer(t testing.TB, cfg Config) (*Server, string) {
 	t.Helper()
 	s := New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -52,15 +52,15 @@ func TestPingAndErrorStatuses(t *testing.T) {
 	if err := c.Ping(); err != nil {
 		t.Fatal(err)
 	}
-	if _, status, err := c.EvalBits(TFloat32, "nope", []uint32{1}); err != nil || status != StatusUnknownFunc {
+	if _, status, err := c.EvalBits(TFloat32, "nope", nil, []uint32{1}); err != nil || status != StatusUnknownFunc {
 		t.Errorf("unknown func: status %s err %v", StatusText(status), err)
 	}
 	// sinpi exists for float32 but not posit32 — the registry split
 	// must be visible through the wire.
-	if _, status, err := c.EvalBits(TPosit32, "sinpi", []uint32{1}); err != nil || status != StatusUnknownFunc {
+	if _, status, err := c.EvalBits(TPosit32, "sinpi", nil, []uint32{1}); err != nil || status != StatusUnknownFunc {
 		t.Errorf("posit32 sinpi: status %s err %v", StatusText(status), err)
 	}
-	if _, status, err := c.EvalBits(TFloat32, "exp", nil); err != nil || status != StatusOK {
+	if _, status, err := c.EvalBits(TFloat32, "exp", nil, nil); err != nil || status != StatusOK {
 		t.Errorf("empty eval: status %s err %v", StatusText(status), err)
 	}
 }
@@ -104,7 +104,7 @@ func TestBusyShedding(t *testing.T) {
 	}
 	defer c.Close()
 	// A batch larger than MaxInflight is always shed, deterministically.
-	_, status, err := c.EvalBits(TFloat32, "exp", make([]uint32, 8))
+	_, status, err := c.EvalBits(TFloat32, "exp", nil, make([]uint32, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestBusyShedding(t *testing.T) {
 		t.Fatalf("oversized batch: status %s, want BUSY", StatusText(status))
 	}
 	// The server stays healthy and serves small batches afterwards.
-	bits, status, err := c.EvalBits(TFloat32, "exp", []uint32{math.Float32bits(1)})
+	bits, status, err := c.EvalBits(TFloat32, "exp", nil, []uint32{math.Float32bits(1)})
 	if err != nil || status != StatusOK {
 		t.Fatalf("post-shed request: status %s err %v", StatusText(status), err)
 	}
@@ -194,7 +194,7 @@ func TestSoakConcurrentBitExact(t *testing.T) {
 				if hi > len(j.in) {
 					hi = len(j.in)
 				}
-				got, status, err := c.EvalBits(j.typ, j.name, j.in[lo:hi])
+				got, status, err := c.EvalBits(j.typ, j.name, nil, j.in[lo:hi])
 				if err != nil {
 					t.Errorf("client %d: %v", ci, err)
 					return
@@ -263,7 +263,7 @@ func TestShutdownDrainsInflight(t *testing.T) {
 				in[i] = math.Float32bits(1)
 			}
 			for r := 0; ; r++ {
-				got, status, err := c.EvalBits(TFloat32, "exp", in)
+				got, status, err := c.EvalBits(TFloat32, "exp", nil, in)
 				if err != nil || status == StatusShutdown {
 					// Connection drained out from under us — fine,
 					// as long as completed requests were correct.
@@ -308,10 +308,10 @@ func TestShutdownDrainsInflight(t *testing.T) {
 }
 
 // TestCoalescingMergesQueuedRequests pins the coalescer's core
-// behavior deterministically: while the (single) worker is busy
-// evaluating one batch, further submits for the same key accumulate
-// and are dispatched together as one merged batch when the worker
-// frees up.
+// behavior deterministically: while the (single-shard) worker is busy
+// evaluating one batch, further submits for the same key accumulate in
+// the shard queue and are dispatched together as one merged batch when
+// the worker frees up.
 func TestCoalescingMergesQueuedRequests(t *testing.T) {
 	key := batchKey{typ: TFloat32, name: "gate"}
 	gate := make(chan struct{})
@@ -338,7 +338,7 @@ func TestCoalescingMergesQueuedRequests(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out, status := d.submit(key, inputs[i])
+			out, status := d.evalSync(key, uint32(i), inputs[i])
 			if status != StatusOK {
 				t.Errorf("submit %d: status %s", i, StatusText(status))
 				return
@@ -352,8 +352,8 @@ func TestCoalescingMergesQueuedRequests(t *testing.T) {
 		submit(i)
 	}
 	// Wait for the three later submits to be queued behind the
-	// blocked worker.
-	q := d.queues[key]
+	// blocked worker (one shard, so all land on queue 0).
+	q := d.lookup(TFloat32, []byte("gate")).qs[0]
 	for {
 		q.mu.Lock()
 		n := len(q.pend)

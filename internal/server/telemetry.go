@@ -45,11 +45,16 @@ type Metrics struct {
 	Batches       *telemetry.Counter // coalesced batches dispatched to kernels
 	BatchedValues *telemetry.Counter // values across all dispatched batches
 
-	batchSize  *telemetry.Histogram // values per coalesced batch
-	shedValues *telemetry.Counter   // values refused by admission control
-	draining   *telemetry.Gauge     // 1 while a graceful drain is running
-	drains     *telemetry.Counter   // graceful drains completed
-	drainNs    *telemetry.Gauge     // duration of the last completed drain
+	batchSize    *telemetry.Histogram // values per coalesced batch
+	shedValues   *telemetry.Counter   // values refused by admission control
+	shardShed    *telemetry.Counter   // values refused by the per-shard bound
+	steals       *telemetry.Counter   // batches drained by a non-home worker
+	writevs      *telemetry.Counter   // scatter-gather flushes to client sockets
+	writevFrames *telemetry.Counter   // response frames across all flushes
+	writevBytes  *telemetry.Counter   // response bytes across all flushes
+	draining     *telemetry.Gauge     // 1 while a graceful drain is running
+	drains       *telemetry.Counter   // graceful drains completed
+	drainNs      *telemetry.Gauge     // duration of the last completed drain
 }
 
 func newMetrics(keys []batchKey) *Metrics {
@@ -75,6 +80,16 @@ func newMetrics(keys []batchKey) *Metrics {
 			"values per coalesced kernel batch (power-of-two buckets)"),
 		shedValues: reg.Counter("rlibmd_shed_values_total",
 			"values refused by admission control (BUSY)"),
+		shardShed: reg.Counter("rlibmd_shard_shed_values_total",
+			"values refused by the per-shard inflight bound (subset of shed)"),
+		steals: reg.Counter("rlibmd_steals_total",
+			"coalesced batches drained by a worker outside their home shard"),
+		writevs: reg.Counter("rlibmd_writev_total",
+			"scatter-gather flushes to client sockets"),
+		writevFrames: reg.Counter("rlibmd_writev_frames_total",
+			"response frames across all scatter-gather flushes"),
+		writevBytes: reg.Counter("rlibmd_writev_bytes_total",
+			"response bytes across all scatter-gather flushes"),
 		draining: reg.Gauge("rlibmd_draining",
 			"1 while a graceful drain is in progress"),
 		drains: reg.Counter("rlibmd_drains_total",
@@ -149,6 +164,9 @@ func (m *Metrics) Snapshot() map[string]any {
 		"batches":        m.Batches.Load(),
 		"batched_values": m.BatchedValues.Load(),
 		"shed_values":    m.shedValues.Load(),
+		"steals":         m.steals.Load(),
+		"writevs":        m.writevs.Load(),
+		"writev_frames":  m.writevFrames.Load(),
 		"func":           perFunc,
 	}
 	if b := m.Batches.Load(); b > 0 {
