@@ -13,14 +13,25 @@
 // With -verify (the default), every result bit pattern is compared
 // against the in-process library, so a run doubles as an end-to-end
 // bit-exactness check; any mismatch, protocol error or non-BUSY error
-// frame makes the process exit non-zero. BUSY responses are counted
-// and reported but are not failures — they are the server's designed
-// load shedding. -min-rate sets a values/s floor for CI gating.
+// frame makes the process exit non-zero. Mismatches are attributed to
+// their (endpoint, type, function), with the first offending bit
+// pattern printed, so a bad replica in a fleet is identified rather
+// than drowned in a global counter. BUSY responses are counted and
+// reported but are not failures — they are the server's designed load
+// shedding; -max-busy-frac bounds the fraction of requests that may be
+// shed before the run fails, and -min-rate sets a values/s floor for
+// CI gating.
+//
+// -addr accepts a comma-separated list; connections round-robin across
+// the endpoints, so one invocation can drive several rlibmd replicas
+// or rlibmproxy front-ends and compare them in the per-endpoint
+// summary.
 //
 //	rlibmload -addr 127.0.0.1:7043 -duration 5s -conns 8 -batch 256
 //	rlibmload -addr 127.0.0.1:7043 -pipeline 16      # 16 in flight per conn
+//	rlibmload -addr 127.0.0.1:7043,127.0.0.1:7045    # two endpoints
 //	rlibmload -addr 127.0.0.1:7043 -batch 1          # scalar RPC mode
-//	rlibmload -addr 127.0.0.1:7043 -ping             # readiness probe
+//	rlibmload -addr 127.0.0.1:7043 -ping             # readiness probe (all endpoints)
 package main
 
 import (
@@ -121,15 +132,38 @@ func all16(f func(uint16) uint16) (in, expected []uint32) {
 	return in, expected
 }
 
+// funcStats attributes one function's mismatches on one endpoint,
+// keeping the first offending bit pattern for the failure report.
+type funcStats struct {
+	mismatches                   uint64
+	firstIn, firstGot, firstWant uint32
+}
+
 // connStats accumulates one connection's counters.
 type connStats struct {
+	endpoint   string
 	requests   uint64
 	values     uint64
 	busy       uint64
 	errFrames  uint64 // non-OK, non-BUSY responses
 	transport  uint64
 	mismatches uint64
+	byFunc     map[string]*funcStats // mismatch attribution per function
 	latencies  []time.Duration
+}
+
+// noteMismatch records one bit mismatch against its function.
+func (st *connStats) noteMismatch(name string, in, got, want uint32) {
+	st.mismatches++
+	if st.byFunc == nil {
+		st.byFunc = make(map[string]*funcStats)
+	}
+	fs := st.byFunc[name]
+	if fs == nil {
+		fs = &funcStats{firstIn: in, firstGot: got, firstWant: want}
+		st.byFunc[name] = fs
+	}
+	fs.mismatches++
 }
 
 // runSync drives one connection with a single request in flight —
@@ -159,7 +193,7 @@ func runSync(c *server.Client, st *connStats, work []workload, code uint8, batch
 			if verify {
 				for j := range in {
 					if got[j] != w.expected[lo+j] {
-						st.mismatches++
+						st.noteMismatch(w.name, in[j], got[j], w.expected[lo+j])
 					}
 				}
 			}
@@ -228,7 +262,7 @@ func runPipelined(c *server.Client, st *connStats, work []workload, code uint8, 
 			if verify {
 				for j := range call.Dst {
 					if call.Dst[j] != sl.w.expected[sl.lo+j] {
-						st.mismatches++
+						st.noteMismatch(sl.w.name, sl.w.in[sl.lo+j], call.Dst[j], sl.w.expected[sl.lo+j])
 					}
 				}
 			}
@@ -245,8 +279,8 @@ func runPipelined(c *server.Client, st *connStats, work []workload, code uint8, 
 }
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7043", "rlibmd address")
-	ping := flag.Bool("ping", false, "send one ping and exit (readiness probe)")
+	addr := flag.String("addr", "127.0.0.1:7043", "server address(es), comma-separated; connections round-robin")
+	ping := flag.Bool("ping", false, "ping every endpoint and exit (readiness probe)")
 	duration := flag.Duration("duration", 5*time.Second, "load duration")
 	conns := flag.Int("conns", 8, "concurrent connections")
 	batch := flag.Int("batch", 256, "values per request (1 = scalar RPC mode)")
@@ -256,20 +290,39 @@ func main() {
 	n := flag.Int("n", 1<<16, "precomputed inputs per function (32-bit types)")
 	verify := flag.Bool("verify", true, "check every result bit against the in-process library")
 	minRate := flag.Float64("min-rate", 0, "fail unless throughput reaches this many values/s")
+	maxBusyFrac := flag.Float64("max-busy-frac", -1, "fail if more than this fraction of requests is shed with BUSY (-1 disables)")
 	quiet := flag.Bool("quiet", false, "only print the summary line")
 	flag.Parse()
 
-	if *ping {
-		c, err := server.Dial(*addr)
-		if err == nil {
-			err = c.Ping()
-			c.Close()
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rlibmload: ping:", err)
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "rlibmload: -addr is empty")
+		os.Exit(2)
+	}
+
+	if *ping {
+		failed := false
+		for _, a := range addrs {
+			c, err := server.Dial(a)
+			if err == nil {
+				err = c.Ping()
+				c.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rlibmload: ping %s: %v\n", a, err)
+				failed = true
+				continue
+			}
+			fmt.Printf("rlibmload: %s is up\n", a)
+		}
+		if failed {
 			os.Exit(1)
 		}
-		fmt.Println("rlibmload: server is up")
 		return
 	}
 
@@ -299,7 +352,8 @@ func main() {
 		go func(ci int) {
 			defer wg.Done()
 			st := &stats[ci]
-			c, err := server.Dial(*addr)
+			st.endpoint = addrs[ci%len(addrs)]
+			c, err := server.Dial(st.endpoint)
 			if err != nil {
 				st.transport++
 				return
@@ -321,14 +375,41 @@ func main() {
 
 	var total connStats
 	var lats []time.Duration
+	perEndpoint := make(map[string]*connStats)
+	badFuncs := make(map[string]map[string]*funcStats) // endpoint -> func -> attribution
 	for i := range stats {
-		total.requests += stats[i].requests
-		total.values += stats[i].values
-		total.busy += stats[i].busy
-		total.errFrames += stats[i].errFrames
-		total.transport += stats[i].transport
-		total.mismatches += stats[i].mismatches
-		lats = append(lats, stats[i].latencies...)
+		st := &stats[i]
+		total.requests += st.requests
+		total.values += st.values
+		total.busy += st.busy
+		total.errFrames += st.errFrames
+		total.transport += st.transport
+		total.mismatches += st.mismatches
+		lats = append(lats, st.latencies...)
+		ep := perEndpoint[st.endpoint]
+		if ep == nil {
+			ep = &connStats{endpoint: st.endpoint}
+			perEndpoint[st.endpoint] = ep
+		}
+		ep.requests += st.requests
+		ep.values += st.values
+		ep.busy += st.busy
+		ep.errFrames += st.errFrames
+		ep.transport += st.transport
+		ep.mismatches += st.mismatches
+		for name, fs := range st.byFunc {
+			m := badFuncs[st.endpoint]
+			if m == nil {
+				m = make(map[string]*funcStats)
+				badFuncs[st.endpoint] = m
+			}
+			agg := m[name]
+			if agg == nil {
+				agg = &funcStats{firstIn: fs.firstIn, firstGot: fs.firstGot, firstWant: fs.firstWant}
+				m[name] = agg
+			}
+			agg.mismatches += fs.mismatches
+		}
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	q := func(p float64) time.Duration {
@@ -353,6 +434,39 @@ func main() {
 	fmt.Printf("  latency p50=%v p99=%v busy=%d err_frames=%d transport_errs=%d mismatches=%d\n",
 		q(0.50).Round(time.Microsecond), q(0.99).Round(time.Microsecond),
 		total.busy, total.errFrames, total.transport, total.mismatches)
+	if len(addrs) > 1 {
+		eps := make([]string, 0, len(perEndpoint))
+		for a := range perEndpoint {
+			eps = append(eps, a)
+		}
+		sort.Strings(eps)
+		for _, a := range eps {
+			ep := perEndpoint[a]
+			fmt.Printf("  endpoint %s: requests=%d values=%d (%.0f values/s) busy=%d err_frames=%d transport_errs=%d mismatches=%d\n",
+				a, ep.requests, ep.values, float64(ep.values)/elapsed.Seconds(),
+				ep.busy, ep.errFrames, ep.transport, ep.mismatches)
+		}
+	}
+	if total.mismatches > 0 {
+		eps := make([]string, 0, len(badFuncs))
+		for a := range badFuncs {
+			eps = append(eps, a)
+		}
+		sort.Strings(eps)
+		for _, a := range eps {
+			names := make([]string, 0, len(badFuncs[a]))
+			for name := range badFuncs[a] {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fs := badFuncs[a][name]
+				fmt.Fprintf(os.Stderr,
+					"rlibmload: MISMATCH endpoint=%s type=%s func=%s count=%d first: in=%#08x got=%#08x want=%#08x\n",
+					a, *typ, name, fs.mismatches, fs.firstIn, fs.firstGot, fs.firstWant)
+			}
+		}
+	}
 	if total.mismatches > 0 || total.errFrames > 0 || total.transport > 0 {
 		fmt.Fprintln(os.Stderr, "rlibmload: FAILED (mismatch or error frames)")
 		os.Exit(1)
@@ -364,5 +478,15 @@ func main() {
 	if *minRate > 0 && rate < *minRate {
 		fmt.Fprintf(os.Stderr, "rlibmload: FAILED (throughput %.0f values/s below floor %.0f)\n", rate, *minRate)
 		os.Exit(1)
+	}
+	if *maxBusyFrac >= 0 {
+		frac := 0.0
+		if total.requests+total.busy > 0 {
+			frac = float64(total.busy) / float64(total.requests+total.busy)
+		}
+		if frac > *maxBusyFrac {
+			fmt.Fprintf(os.Stderr, "rlibmload: FAILED (busy fraction %.4f above bound %.4f)\n", frac, *maxBusyFrac)
+			os.Exit(1)
+		}
 	}
 }

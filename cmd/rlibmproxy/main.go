@@ -1,0 +1,121 @@
+// Command rlibmproxy is the fleet routing tier for rlibmd: it speaks
+// the same length-prefixed wire protocol downstream, routes each
+// request by (function, type) over a consistent-hash ring of rlibmd
+// backends, and forwards through pipelined connection pools. Backends
+// are health-probed (PING) and ejected fast / re-admitted slowly;
+// failed or shed forwards retry against the next ring replica, which
+// is always safe because evaluation is pure and bit-exact across
+// replicas.
+//
+//	rlibmproxy -addr 127.0.0.1:7050 -admin 127.0.0.1:7051 \
+//	    -backends 127.0.0.1:7043,127.0.0.1:7045
+//
+// The admin listener exports Prometheus text metrics at /metrics —
+// per-backend health, latency, error, ejection and re-admission
+// series alongside aggregate routing counters — and pprof at
+// /debug/pprof/. SIGINT/SIGTERM trigger a graceful drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rlibm32/internal/server"
+	"rlibm32/internal/server/proxy"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7050", "serve address")
+	admin := flag.String("admin", "", "admin (metrics + pprof) address; empty disables")
+	backends := flag.String("backends", "", "comma-separated rlibmd backend addresses (required)")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
+	connsPer := flag.Int("conns-per-backend", 2, "pipelined connections per backend")
+	retries := flag.Int("retries", 0, "forward attempts beyond the first (default: one per backend)")
+	maxFrame := flag.Int("max-frame", server.DefaultMaxFrame, "max downstream frame payload bytes")
+	maxInflight := flag.Int64("max-inflight", 1<<21, "max admitted-but-unanswered values before BUSY shedding")
+	clientInflight := flag.Int64("client-inflight", 0, "per-client admitted-value bound (default max-inflight/4)")
+	clientRequests := flag.Int("client-requests", 256, "max requests in flight per downstream connection")
+	dialTimeout := flag.Duration("dial-timeout", 2*time.Second, "backend dial timeout")
+	probeInterval := flag.Duration("probe-interval", 250*time.Millisecond, "health probe interval per backend")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "health probe dial + round-trip timeout")
+	failAfter := flag.Int("fail-after", 3, "consecutive probe failures before ejection")
+	okAfter := flag.Int("ok-after", 2, "consecutive probe successes before re-admission")
+	passiveFailAfter := flag.Int("passive-fail-after", 8, "consecutive data-path errors before ejection")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "downstream per-frame read deadline")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "downstream flush deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	var addrs []string
+	for _, a := range strings.Split(*backends, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("rlibmproxy: -backends is required (comma-separated rlibmd addresses)")
+	}
+
+	p, err := proxy.New(proxy.Config{
+		Addr:             *addr,
+		Backends:         addrs,
+		VNodes:           *vnodes,
+		ConnsPerBackend:  *connsPer,
+		Retries:          *retries,
+		MaxFrame:         *maxFrame,
+		MaxInflight:      *maxInflight,
+		ClientInflight:   *clientInflight,
+		ClientRequests:   *clientRequests,
+		DialTimeout:      *dialTimeout,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		FailAfter:        *failAfter,
+		OkAfter:          *okAfter,
+		PassiveFailAfter: *passiveFailAfter,
+		ReadTimeout:      *readTimeout,
+		WriteTimeout:     *writeTimeout,
+	})
+	if err != nil {
+		log.Fatalf("rlibmproxy: %v", err)
+	}
+
+	if *admin != "" {
+		adminSrv := &http.Server{Addr: *admin, Handler: p.Metrics().AdminHandler()}
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("rlibmproxy: admin listener: %v", err)
+			}
+		}()
+		defer adminSrv.Close()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- p.ListenAndServe() }()
+
+	log.Printf("rlibmproxy: routing %s across %d backends", *addr, len(addrs))
+
+	select {
+	case err := <-errc:
+		if err != nil && err != server.ErrServerClosed {
+			log.Fatalf("rlibmproxy: %v", err)
+		}
+	case got := <-sig:
+		log.Printf("rlibmproxy: %v: draining (timeout %s)", got, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := p.Shutdown(ctx); err != nil {
+			log.Fatalf("rlibmproxy: drain failed: %v", err)
+		}
+		fmt.Println("rlibmproxy: drained cleanly")
+	}
+}

@@ -6,6 +6,16 @@
 //	rlibmtop -addr 127.0.0.1:7044            # live, redraws every 2s
 //	rlibmtop -addr 127.0.0.1:7044 -once      # one snapshot, no ANSI
 //
+// With several comma-separated addresses rlibmtop becomes a fleet
+// dashboard: one summary row per endpoint (rlibmd backends and
+// rlibmproxy front-ends are detected from their metric namespaces and
+// rendered side by side), the proxy's per-backend health/ejection
+// state, and a per-function values/s matrix with one column per
+// endpoint. An endpoint that stops answering is shown as DOWN instead
+// of killing the dashboard.
+//
+//	rlibmtop -addr 127.0.0.1:7051,127.0.0.1:7044,127.0.0.1:7046
+//
 // Rates and interval percentiles are computed from deltas between two
 // consecutive scrapes, so the first live frame appears after one
 // interval. Percentiles come from the server's power-of-two latency
@@ -22,21 +32,38 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"rlibm32/internal/telemetry"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7044", "rlibmd admin address (host:port) or full metrics URL")
+	addr := flag.String("addr", "127.0.0.1:7044", "admin address(es), comma-separated (host:port or full metrics URL)")
 	interval := flag.Duration("interval", 2*time.Second, "poll interval")
 	once := flag.Bool("once", false, "print one snapshot and exit (totals instead of rates)")
 	flag.Parse()
 
-	url := *addr
-	if !strings.Contains(url, "://") {
-		url = "http://" + url + "/metrics"
+	var urls []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a + "/metrics"
+		}
+		urls = append(urls, a)
 	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "rlibmtop: -addr is empty")
+		os.Exit(1)
+	}
+
+	if len(urls) > 1 {
+		fleetMain(urls, *interval, *once)
+		return
+	}
+	url := urls[0]
 
 	prev, err := scrape(url)
 	if err != nil {
@@ -58,6 +85,58 @@ func main() {
 		render(os.Stdout, url, cur, prev, cur.at.Sub(prev.at).Seconds())
 		prev = cur
 	}
+}
+
+// fleetMain is the multi-endpoint loop: scrape failures mark an
+// endpoint DOWN for the frame instead of exiting, and a stale prev is
+// kept so rates recover over the widened window once the endpoint
+// answers again.
+func fleetMain(urls []string, interval time.Duration, once bool) {
+	prevs := scrapeAll(urls)
+	alive := 0
+	for _, s := range prevs {
+		if s != nil {
+			alive++
+		}
+	}
+	if alive == 0 {
+		fmt.Fprintf(os.Stderr, "rlibmtop: no endpoint of %d answered\n", len(urls))
+		os.Exit(1)
+	}
+	if once {
+		renderFleet(os.Stdout, urls, prevs, make([]*snap, len(urls)))
+		return
+	}
+	for {
+		time.Sleep(interval)
+		curs := scrapeAll(urls)
+		fmt.Print("\x1b[H\x1b[2J") // home + clear
+		renderFleet(os.Stdout, urls, curs, prevs)
+		for i, s := range curs {
+			if s != nil {
+				prevs[i] = s
+			}
+		}
+	}
+}
+
+// scrapeAll scrapes every URL concurrently; a failed endpoint yields
+// nil (rendered as DOWN) rather than an error.
+func scrapeAll(urls []string) []*snap {
+	out := make([]*snap, len(urls))
+	var wg sync.WaitGroup
+	for i, u := range urls {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			s, err := scrape(u)
+			if err == nil {
+				out[i] = s
+			}
+		}(i, u)
+	}
+	wg.Wait()
+	return out
 }
 
 // snap is one scrape, indexed by metric name.
@@ -307,6 +386,281 @@ func render(w io.Writer, url string, cur, prev *snap, dt float64) {
 			100*hits/(hits+misses), fmtCount(hits), fmtCount(misses))
 	} else {
 		fmt.Fprintf(w, "oracle cache: idle\n")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fleet view.
+
+// epShort compresses a metrics URL back to host:port for column
+// headers.
+func epShort(u string) string {
+	u = strings.TrimPrefix(u, "http://")
+	u = strings.TrimPrefix(u, "https://")
+	if i := strings.IndexByte(u, '/'); i >= 0 {
+		u = u[:i]
+	}
+	return u
+}
+
+// sumAll sums every sample of a metric across its label sets — e.g.
+// rlibmd's per-function counters rolled up to an endpoint total.
+func sumAll(s *snap, name string) float64 {
+	var v float64
+	for _, sm := range s.by[name] {
+		v += sm.Value
+	}
+	return v
+}
+
+func sumDelta(cur, prev *snap, name string) float64 {
+	v := sumAll(cur, name)
+	if prev != nil {
+		v -= sumAll(prev, name)
+	}
+	return v
+}
+
+// histAll merges every series of a histogram metric bucket-wise.
+func histAll(s *snap, name string) map[float64]float64 {
+	buckets := make(map[float64]float64)
+	for _, sm := range s.by[name+"_bucket"] {
+		le, ok := parseLe(sm.Labels["le"])
+		if !ok {
+			continue
+		}
+		buckets[le] += sm.Value
+	}
+	return buckets
+}
+
+// epStats is one endpoint's summary-row numbers.
+type epStats struct {
+	down        bool
+	kind, state string
+	conns       float64
+	req, vals   float64
+	busy, errs  float64
+	p50, p99    float64
+	funcMetric  string // per-function values counter in this endpoint's namespace
+}
+
+// fleetStats classifies an endpoint by its metric namespace (rlibmd
+// backend vs rlibmproxy front-end) and computes rates over the scrape
+// window.
+func fleetStats(cur, prev *snap) epStats {
+	if cur == nil {
+		return epStats{down: true}
+	}
+	dt := 0.0
+	if prev != nil {
+		dt = cur.at.Sub(prev.at).Seconds()
+	}
+	rate := func(v float64) float64 {
+		if dt > 0 {
+			return v / dt
+		}
+		return v
+	}
+	var st epStats
+	var lat map[float64]float64
+	if len(cur.by["rlibmproxy_draining"]) > 0 {
+		st.kind = "proxy"
+		st.funcMetric = "rlibmproxy_func_values_total"
+		st.conns, _ = cur.value("rlibmproxy_downstream_connections", nil)
+		st.req = rate(sumDelta(cur, prev, "rlibmproxy_requests_total"))
+		st.vals = rate(sumDelta(cur, prev, "rlibmproxy_values_total"))
+		st.busy = rate(sumDelta(cur, prev, "rlibmproxy_busy_client_values_total") +
+			sumDelta(cur, prev, "rlibmproxy_busy_global_values_total"))
+		st.errs = rate(sumDelta(cur, prev, "rlibmproxy_backend_errors_total") +
+			sumDelta(cur, prev, "rlibmproxy_busy_upstream_total"))
+		lat = histAll(cur, "rlibmproxy_request_latency_ns")
+		if prev != nil {
+			lat = sub(lat, histAll(prev, "rlibmproxy_request_latency_ns"))
+		}
+		if d, _ := cur.value("rlibmproxy_draining", nil); d != 0 {
+			st.state = "DRAINING"
+		} else {
+			st.state = "serving"
+		}
+	} else {
+		st.kind = "rlibmd"
+		st.funcMetric = "rlibmd_func_values_total"
+		st.conns, _ = cur.value("rlibmd_connections", nil)
+		st.req = rate(sumDelta(cur, prev, "rlibmd_requests_total"))
+		st.vals = rate(sumDelta(cur, prev, "rlibmd_func_values_total"))
+		st.busy = rate(sumDelta(cur, prev, "rlibmd_func_busy_total"))
+		st.errs = rate(sumDelta(cur, prev, "rlibmd_error_frames_total"))
+		lat = histAll(cur, "rlibmd_request_latency_ns")
+		if prev != nil {
+			lat = sub(lat, histAll(prev, "rlibmd_request_latency_ns"))
+		}
+		if d, _ := cur.value("rlibmd_draining", nil); d != 0 {
+			st.state = "DRAINING"
+		} else {
+			st.state = "serving"
+		}
+	}
+	if len(lat) > 0 {
+		st.p50 = telemetry.HistQuantile(lat, 0.50)
+		st.p99 = telemetry.HistQuantile(lat, 0.99)
+	}
+	return st
+}
+
+func renderFleet(w io.Writer, urls []string, curs, prevs []*snap) {
+	now := time.Now()
+	for _, s := range curs {
+		if s != nil {
+			now = s.at
+			break
+		}
+	}
+	fmt.Fprintf(w, "rlibm fleet  %d endpoints  %s\n\n", len(urls), now.Format("15:04:05"))
+
+	stats := make([]epStats, len(urls))
+	fmt.Fprintf(w, "%-26s %-7s %-9s %6s %9s %10s %9s %9s %8s %7s\n",
+		"endpoint", "kind", "state", "conns", "req/s", "vals/s", "p50", "p99", "busy/s", "errs/s")
+	for i, u := range urls {
+		st := fleetStats(curs[i], prevs[i])
+		stats[i] = st
+		if st.down {
+			fmt.Fprintf(w, "%-26s %-7s %-9s\n", epShort(u), "?", "DOWN")
+			continue
+		}
+		p50, p99 := "-", "-"
+		if st.p50 > 0 || st.p99 > 0 {
+			p50, p99 = fmtDur(st.p50), fmtDur(st.p99)
+		}
+		fmt.Fprintf(w, "%-26s %-7s %-9s %6.0f %9s %10s %9s %9s %8s %7s\n",
+			epShort(u), st.kind, st.state, st.conns,
+			fmtCount(st.req), fmtCount(st.vals), p50, p99,
+			fmtCount(st.busy), fmtCount(st.errs))
+	}
+
+	// Proxy endpoints: per-backend ring membership and health history.
+	for i, u := range urls {
+		cur := curs[i]
+		if cur == nil || stats[i].kind != "proxy" {
+			continue
+		}
+		var addrs []string
+		for _, sm := range cur.by["rlibmproxy_backend_healthy"] {
+			addrs = append(addrs, sm.Labels["backend"])
+		}
+		sort.Strings(addrs)
+		if len(addrs) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\nbackends via %s:\n", epShort(u))
+		prev := prevs[i]
+		dt := 0.0
+		if prev != nil {
+			dt = cur.at.Sub(prev.at).Seconds()
+		}
+		for _, a := range addrs {
+			match := map[string]string{"backend": a}
+			healthy, _ := cur.value("rlibmproxy_backend_healthy", match)
+			vals, _ := cur.value("rlibmproxy_backend_values_total", match)
+			errs, _ := cur.value("rlibmproxy_backend_errors_total", match)
+			if prev != nil {
+				pv, _ := prev.value("rlibmproxy_backend_values_total", match)
+				pe, _ := prev.value("rlibmproxy_backend_errors_total", match)
+				vals, errs = vals-pv, errs-pe
+			}
+			if dt > 0 {
+				vals, errs = vals/dt, errs/dt
+			}
+			ej, _ := cur.value("rlibmproxy_backend_ejections_total", match)
+			re, _ := cur.value("rlibmproxy_backend_readmissions_total", match)
+			lat := cur.hist("rlibmproxy_backend_latency_ns", match)
+			if prev != nil {
+				lat = sub(lat, prev.hist("rlibmproxy_backend_latency_ns", match))
+			}
+			state := "up"
+			if healthy == 0 {
+				state = "EJECTED"
+			}
+			p99 := "-"
+			if q := telemetry.HistQuantile(lat, 0.99); q > 0 {
+				p99 = fmtDur(q)
+			}
+			fmt.Fprintf(w, "  %-22s %-8s %10s vals/s  p99 %-9s errs/s %-7s ejections %.0f readmissions %.0f\n",
+				a, state, fmtCount(vals), p99, fmtCount(errs), ej, re)
+		}
+	}
+
+	// Per-function values/s matrix, one column per endpoint.
+	type cell struct{ vals float64 }
+	keys := map[funcKey]bool{}
+	for i := range urls {
+		if curs[i] == nil {
+			continue
+		}
+		for _, sm := range curs[i].by[stats[i].funcMetric] {
+			keys[funcKey{sm.Labels["type"], sm.Labels["func"]}] = true
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	type mrow struct {
+		k     funcKey
+		cells []cell
+		total float64
+	}
+	var rows []mrow
+	for k := range keys {
+		r := mrow{k: k, cells: make([]cell, len(urls))}
+		match := map[string]string{"type": k.typ, "func": k.fn}
+		for i := range urls {
+			cur, prev := curs[i], prevs[i]
+			if cur == nil {
+				continue
+			}
+			v, _ := cur.value(stats[i].funcMetric, match)
+			if prev != nil {
+				pv, _ := prev.value(stats[i].funcMetric, match)
+				v -= pv
+				if dt := cur.at.Sub(prev.at).Seconds(); dt > 0 {
+					v /= dt
+				}
+			}
+			r.cells[i].vals = v
+			r.total += v
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		ki, kj := rows[i].k, rows[j].k
+		if ki.typ != kj.typ {
+			return ki.typ < kj.typ
+		}
+		return ki.fn < kj.fn
+	})
+	fmt.Fprintf(w, "\n%-8s %-9s", "func", "type")
+	for _, u := range urls {
+		fmt.Fprintf(w, " %14s", epShort(u))
+	}
+	fmt.Fprintln(w, "  (vals/s)")
+	shown := 0
+	for _, r := range rows {
+		if shown >= 12 && r.total == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-8s %-9s", r.k.fn, r.k.typ)
+		for i := range urls {
+			if curs[i] == nil {
+				fmt.Fprintf(w, " %14s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %14s", fmtCount(r.cells[i].vals))
+		}
+		fmt.Fprintln(w)
+		shown++
 	}
 }
 

@@ -158,6 +158,11 @@ func (c *Client) broken() bool {
 	return c.closed || c.err != nil
 }
 
+// Broken reports whether the client can no longer issue requests (the
+// connection failed or was closed) and must be redialed. The fleet
+// proxy's lazy backend pools key their redial decision off this.
+func (c *Client) Broken() bool { return c.broken() }
+
 // fail completes every registered call with err and poisons the
 // client. First failure wins. Unregistering under the mutex is what
 // guarantees each call finishes exactly once — whoever removes it from
@@ -202,10 +207,19 @@ func (call *Call) finish() {
 // unknown type code, dst shorter than src, a closed client — completes
 // the call immediately with the error set.
 func (c *Client) Go(typ uint8, name string, dst, src []uint32, done chan *Call) *Call {
+	return c.GoTagged(typ, name, dst, src, done, 0)
+}
+
+// GoTagged is Go with the caller's Tag set before the call is issued.
+// When the goroutine consuming done is not the one issuing, assigning
+// Tag on the returned *Call races with its completion — the consumer
+// can receive the call before the issuer's store lands. GoTagged
+// closes that window; the proxy's routing slots depend on it.
+func (c *Client) GoTagged(typ uint8, name string, dst, src []uint32, done chan *Call, tag uint64) *Call {
 	if done == nil {
 		done = make(chan *Call, 1)
 	}
-	call := &Call{Type: typ, Name: name, Src: src, Dst: dst, Done: done, op: OpEval}
+	call := &Call{Type: typ, Name: name, Src: src, Dst: dst, Done: done, Tag: tag, op: OpEval}
 	c.start(call)
 	return call
 }
@@ -383,18 +397,28 @@ func (c *Client) drainSendq() {
 func (c *Client) reader() {
 	br := bufio.NewReaderSize(c.conn, 64<<10)
 	fr := frameReader{max: DefaultMaxFrame}
+	nframes := 0
 	for {
-		c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+		// Arm the read deadline every 64 frames rather than per frame:
+		// the timer syscall is the reader's single largest non-I/O cost
+		// at pipelined rates, and stretching the effective timeout by
+		// the time 64 frames take to arrive changes nothing.
+		if nframes&63 == 0 {
+			c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+		}
+		nframes++
 		frame, err := fr.read(br)
 		if err != nil {
 			// An idle timeout with nothing in flight is not a failure:
-			// keep listening.
+			// keep listening (and re-arm, or the stale deadline would
+			// fire again immediately).
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
 				c.mu.Lock()
 				idle := len(c.calls) == 0 && c.err == nil && !c.closed
 				c.mu.Unlock()
 				if idle {
+					nframes = 0
 					continue
 				}
 			}
@@ -486,7 +510,17 @@ func (c *Client) putCall(call *Call) {
 	c.callPool.Put(call)
 }
 
-// Ping round-trips a liveness probe.
+// StatusError is a non-OK server verdict surfaced as an error, so
+// callers (health probes, fleet routing) can distinguish "the server
+// answered, and said no" from a transport failure with errors.As.
+type StatusError struct{ Status uint8 }
+
+func (e *StatusError) Error() string {
+	return "server: status " + StatusText(e.Status)
+}
+
+// Ping round-trips a liveness probe. A reachable-but-not-ready server
+// (draining, for instance, answers SHUTDOWN) returns a *StatusError.
 func (c *Client) Ping() error {
 	call, err := c.roundTrip(OpPing, 0, "", nil, nil)
 	if err != nil {
@@ -496,7 +530,7 @@ func (c *Client) Ping() error {
 	status := call.Status
 	c.putCall(call)
 	if status != StatusOK {
-		return fmt.Errorf("server: ping status %s", StatusText(status))
+		return &StatusError{Status: status}
 	}
 	return nil
 }

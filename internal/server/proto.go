@@ -279,43 +279,80 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	return appendValues(dst, req.Bits, width), nil
 }
 
-// DecodeRequest parses a request frame (the bytes after the length
-// prefix). It validates the version, opcode, type code and that the
-// payload length is exactly consistent with nameLen and count.
-func DecodeRequest(frame []byte) (*Request, error) {
+// ParsedRequest is a zero-copy view of a validated request frame: Name
+// and Payload alias the frame buffer and are valid only until the
+// buffer's next reuse (the next FrameScanner.Next, for scanner-fed
+// frames). Payload holds Count wire values at TypeWidth(Type) bytes
+// each; decode them with DecodeValuesInto. The proxy tier forwards
+// frames from this view without materializing a Request.
+type ParsedRequest struct {
+	Op      uint8
+	Type    uint8
+	ID      uint32
+	Count   int
+	Name    []byte
+	Payload []byte
+}
+
+// ParseRequest validates a request frame (the bytes after the length
+// prefix) — version, opcode, type code, exact length consistency —
+// and returns a zero-copy view of it.
+func ParseRequest(frame []byte) (ParsedRequest, error) {
+	var pr ParsedRequest
 	if len(frame) < reqHeaderLen {
-		return nil, fmt.Errorf("%w: request header truncated (%d bytes)", ErrBadFrame, len(frame))
+		return pr, fmt.Errorf("%w: request header truncated (%d bytes)", ErrBadFrame, len(frame))
 	}
 	if frame[0] != ProtoVersion {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, frame[0], ProtoVersion)
+		return pr, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, frame[0], ProtoVersion)
 	}
-	req := &Request{
-		Op:   frame[1],
-		Type: frame[2],
-		ID:   binary.LittleEndian.Uint32(frame[4:]),
-	}
+	pr.Op, pr.Type = frame[1], frame[2]
+	pr.ID = binary.LittleEndian.Uint32(frame[4:])
 	nameLen := int(frame[3])
-	count := int(binary.LittleEndian.Uint32(frame[8:]))
-	switch req.Op {
+	pr.Count = int(binary.LittleEndian.Uint32(frame[8:]))
+	switch pr.Op {
 	case OpPing:
-		if nameLen != 0 || count != 0 || len(frame) != reqHeaderLen {
-			return nil, fmt.Errorf("%w: ping carries a payload", ErrBadFrame)
+		if nameLen != 0 || pr.Count != 0 || len(frame) != reqHeaderLen {
+			return pr, fmt.Errorf("%w: ping carries a payload", ErrBadFrame)
 		}
-		return req, nil
+		return pr, nil
 	case OpEval:
 	default:
-		return nil, fmt.Errorf("%w: unknown opcode %d", ErrBadFrame, req.Op)
+		return pr, fmt.Errorf("%w: unknown opcode %d", ErrBadFrame, pr.Op)
 	}
-	width := TypeWidth(req.Type)
+	width := TypeWidth(pr.Type)
 	if width == 0 {
-		return nil, fmt.Errorf("%w: unknown type code %d", ErrBadFrame, req.Type)
+		return pr, fmt.Errorf("%w: unknown type code %d", ErrBadFrame, pr.Type)
 	}
-	if want := reqHeaderLen + nameLen + count*width; len(frame) != want {
-		return nil, fmt.Errorf("%w: frame length %d, header implies %d", ErrBadFrame, len(frame), want)
+	if want := reqHeaderLen + nameLen + pr.Count*width; len(frame) != want {
+		return pr, fmt.Errorf("%w: frame length %d, header implies %d", ErrBadFrame, len(frame), want)
 	}
-	req.Name = string(frame[reqHeaderLen : reqHeaderLen+nameLen])
-	req.Bits = decodeValues(frame[reqHeaderLen+nameLen:], count, width)
+	pr.Name = frame[reqHeaderLen : reqHeaderLen+nameLen]
+	pr.Payload = frame[reqHeaderLen+nameLen:]
+	return pr, nil
+}
+
+// DecodeRequest parses a request frame (the bytes after the length
+// prefix) into an owning Request. It validates the version, opcode,
+// type code and that the payload length is exactly consistent with
+// nameLen and count.
+func DecodeRequest(frame []byte) (*Request, error) {
+	pr, err := ParseRequest(frame)
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{Op: pr.Op, Type: pr.Type, ID: pr.ID, Name: string(pr.Name)}
+	if pr.Op == OpEval {
+		req.Bits = decodeValues(pr.Payload, pr.Count, TypeWidth(pr.Type))
+	}
 	return req, nil
+}
+
+// DecodeValuesInto decodes len(dst) wire values from payload at the
+// given width (2 or 4) into dst without allocating. The caller must
+// have validated the frame (ParseRequest/DecodeResponse do), so
+// payload holds at least len(dst)*width bytes.
+func DecodeValuesInto(dst []uint32, payload []byte, width int) {
+	decodeValuesInto(dst, payload, width)
 }
 
 // AppendResponse appends the wire encoding of resp to dst. A response
@@ -431,4 +468,36 @@ func readFrame(r *bufio.Reader, buf []byte, maxFrame int) ([]byte, []byte, error
 	fr := frameReader{buf: buf, max: maxFrame}
 	frame, err := fr.read(r)
 	return frame, fr.buf, err
+}
+
+// FrameScanner reads length-prefixed frame bodies from one stream with
+// the frameReader reuse policy (reject-before-alloc on oversize
+// lengths, power-of-two growth, shrink-back after bursts). It is the
+// exported face of the server's internal framing for other tiers —
+// rlibmproxy's downstream reader — so the whole fleet shares one
+// framing implementation.
+type FrameScanner struct {
+	br *bufio.Reader
+	fr frameReader
+}
+
+// NewFrameScanner wraps r. maxFrame bounds a single frame's payload
+// (DefaultMaxFrame when <= 0); an oversized length returns ErrFrameSize
+// from Next without consuming the body, after which the stream position
+// is untrustworthy and the connection must be closed.
+func NewFrameScanner(r io.Reader, maxFrame int) *FrameScanner {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &FrameScanner{
+		br: bufio.NewReaderSize(r, 64<<10),
+		fr: frameReader{max: maxFrame},
+	}
+}
+
+// Next returns the next frame body (the bytes after the length
+// prefix). The returned slice aliases the scanner's reused buffer and
+// is valid only until the next call.
+func (s *FrameScanner) Next() ([]byte, error) {
+	return s.fr.read(s.br)
 }

@@ -136,9 +136,19 @@ func (s *Server) ListenAndServe() error {
 // net/http semantics.
 var ErrServerClosed = errors.New("server: closed")
 
-// Serve accepts connections on ln until Shutdown closes it.
+// Serve accepts connections on ln until Shutdown closes it. A server
+// that was already shut down refuses to serve: the draining check and
+// the ln registration share the mutex Shutdown closes ln under, so
+// Serve racing Shutdown either sees draining and exits or registers ln
+// in time for Shutdown to close it — it can never keep accepting
+// after Shutdown returns.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
 	s.ln = ln
 	s.mu.Unlock()
 	for {
@@ -414,6 +424,14 @@ func (s *Server) handleConn(conn net.Conn) {
 		if op == OpPing {
 			if nameLen != 0 || count != 0 || len(frame) != reqHeaderLen {
 				s.malformed(w, frame)
+				return
+			}
+			// A draining server is alive but not ready: answering pings
+			// with SHUTDOWN (instead of OK) lets health probes eject it
+			// before its listener disappears, so a fleet proxy reroutes
+			// new traffic while in-flight requests finish.
+			if s.draining.Load() {
+				s.respond(w, id, typ, StatusShutdown)
 				return
 			}
 			s.respond(w, id, typ, StatusOK)
