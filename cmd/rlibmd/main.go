@@ -11,8 +11,12 @@
 // request/value/busy counts, latency histograms, coalescing stats,
 // oracle cache and Ziv-ladder counters) at /metrics, the same data in
 // legacy expvar shape at /debug/vars, and the standard pprof endpoints
-// at /debug/pprof/. SIGINT/SIGTERM trigger a graceful drain: in-flight
-// requests finish, then the process exits.
+// at /debug/pprof/. The always-on flight recorder keeps the last few
+// thousand wide events in memory, serves them at /debug/flight, and
+// dumps them to -flight-dir as JSON when an anomaly trigger fires
+// (SIGQUIT, a sustained BUSY fraction, or an external hit on
+// /debug/flight/trigger). SIGINT/SIGTERM trigger a graceful drain:
+// in-flight requests finish, then the process exits.
 package main
 
 import (
@@ -43,6 +47,9 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "per-frame read deadline")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+	flightDir := flag.String("flight-dir", ".", "directory for flight-recorder anomaly dumps; empty keeps the ring in-memory only")
+	flightEvents := flag.Int("flight-events", 4096, "wide events retained in the flight-recorder ring")
+	busyDumpFrac := flag.Float64("busy-dump-frac", 0.5, "shed fraction that triggers a flight dump (negative disables)")
 	flag.Parse()
 
 	s := server.New(server.Config{
@@ -54,6 +61,9 @@ func main() {
 		ConnInflight: *connInflight,
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
+		FlightDir:    *flightDir,
+		FlightEvents: *flightEvents,
+		BusyDumpFrac: *busyDumpFrac,
 	})
 	s.Metrics().Publish()
 	// Everything the process observes lands on one registry: the oracle
@@ -64,7 +74,7 @@ func main() {
 	rlibm.EnableTelemetry(s.Metrics().Registry())
 
 	if *admin != "" {
-		adminSrv := &http.Server{Addr: *admin, Handler: s.Metrics().AdminHandler()}
+		adminSrv := &http.Server{Addr: *admin, Handler: s.AdminHandler()}
 		go func() {
 			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("rlibmd: admin listener: %v", err)
@@ -72,6 +82,18 @@ func main() {
 		}()
 		defer adminSrv.Close()
 	}
+
+	// SIGQUIT is the operator's "what just happened" button: dump the
+	// flight ring and keep serving.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			if path, ok := s.Flight().TriggerDump("sigquit"); ok {
+				log.Printf("rlibmd: flight recorder dumped to %s", path)
+			}
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -27,21 +27,37 @@
 // or rlibmproxy front-ends and compare them in the per-endpoint
 // summary.
 //
+// With -trace-frac F (0 < F <= 1), roughly that fraction of each
+// connection's requests carries a distributed-trace context (protocol
+// v2): the server — and, through a proxy, every backend the request
+// visited — returns per-stage span events, and the run ends with an
+// end-to-end latency waterfall (client issue/flush, proxy
+// admit/ring-walk/forward, backend queue/coalesce/kernel).
+// -trace-out writes the collected spans as one stitched Chrome-trace
+// JSON (load into chrome://tracing or Perfetto; spans from every
+// process in the request path share a trace id). -flight-admin lists
+// admin endpoints whose flight recorders should be dumped
+// (/debug/flight/trigger?reason=bit-mismatch) when the run detects a
+// bit mismatch, preserving the serving-side context of the bad frame.
+//
 //	rlibmload -addr 127.0.0.1:7043 -duration 5s -conns 8 -batch 256
 //	rlibmload -addr 127.0.0.1:7043 -pipeline 16      # 16 in flight per conn
 //	rlibmload -addr 127.0.0.1:7043,127.0.0.1:7045    # two endpoints
 //	rlibmload -addr 127.0.0.1:7043 -batch 1          # scalar RPC mode
 //	rlibmload -addr 127.0.0.1:7043 -ping             # readiness probe (all endpoints)
+//	rlibmload -addr 127.0.0.1:7050 -trace-frac 0.01 -trace-out trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rlibm32/bfloat16"
@@ -49,6 +65,7 @@ import (
 	"rlibm32/internal/libm"
 	"rlibm32/internal/perf"
 	"rlibm32/internal/server"
+	"rlibm32/internal/telemetry"
 	"rlibm32/posit16"
 	"rlibm32/posit32/positmath"
 
@@ -121,6 +138,69 @@ func buildWorkloads(variant string, funcs []string, n int) ([]workload, error) {
 	return out, nil
 }
 
+// printWaterfall renders the per-stage latency waterfall from the
+// collected spans: stages in pipeline order (client → proxy →
+// backend), each with the spans seen, the mean offset of the stage's
+// start from its trace's first span (where in the request lifetime the
+// stage begins), and duration quantiles. Reading down the column is
+// reading a request's journey through the fleet.
+func printWaterfall(spans []telemetry.StitchedSpan, traced uint64) {
+	t0 := make(map[uint64]int64, traced)
+	for _, s := range spans {
+		if cur, ok := t0[s.TraceID]; !ok || s.Span.Start < cur {
+			t0[s.TraceID] = s.Span.Start
+		}
+	}
+	type stageKey struct{ proc, stage uint8 }
+	type stageAgg struct {
+		durs      []int64
+		offsetSum int64
+	}
+	agg := make(map[stageKey]*stageAgg)
+	for _, s := range spans {
+		k := stageKey{s.Span.Proc, s.Span.Stage}
+		a := agg[k]
+		if a == nil {
+			a = &stageAgg{}
+			agg[k] = a
+		}
+		a.durs = append(a.durs, s.Span.Dur)
+		a.offsetSum += s.Span.Start - t0[s.TraceID]
+	}
+	keys := make([]stageKey, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].proc != keys[j].proc {
+			return keys[i].proc < keys[j].proc
+		}
+		return keys[i].stage < keys[j].stage
+	})
+	fmt.Printf("  trace waterfall (%d traced requests, %d spans):\n", traced, len(spans))
+	for _, k := range keys {
+		a := agg[k]
+		sort.Slice(a.durs, func(i, j int) bool { return a.durs[i] < a.durs[j] })
+		var sum int64
+		for _, d := range a.durs {
+			sum += d
+		}
+		n := len(a.durs)
+		q := func(p float64) time.Duration {
+			i := int(p * float64(n))
+			if i >= n {
+				i = n - 1
+			}
+			return time.Duration(a.durs[i])
+		}
+		fmt.Printf("    %-16s n=%-7d start=+%-12v mean=%-12v p50=%-12v p99=%v\n",
+			telemetry.SpanName(k.proc, k.stage), n,
+			time.Duration(a.offsetSum/int64(n)).Round(time.Microsecond),
+			time.Duration(sum/int64(n)).Round(time.Microsecond),
+			q(0.50).Round(time.Microsecond), q(0.99).Round(time.Microsecond))
+	}
+}
+
 // all16 enumerates the full 16-bit input space with expected outputs.
 func all16(f func(uint16) uint16) (in, expected []uint32) {
 	in = make([]uint32, 1<<16)
@@ -148,8 +228,56 @@ type connStats struct {
 	errFrames  uint64 // non-OK, non-BUSY responses
 	transport  uint64
 	mismatches uint64
+	traced     uint64                // requests that came back with stitchable spans
 	byFunc     map[string]*funcStats // mismatch attribution per function
 	latencies  []time.Duration
+	spans      []telemetry.StitchedSpan
+}
+
+// maxTraceSpans bounds the spans one connection retains, so a long
+// traced run cannot grow without bound (the waterfall and the trace
+// file are both statistical views; the earliest spans are as good as
+// any).
+const maxTraceSpans = 50000
+
+// Trace ids are unique across the process: a per-run base (so two runs
+// do not collide in a shared trace viewer) plus a global sequence.
+var (
+	traceBase = uint64(time.Now().UnixNano()) << 8
+	traceSeq  atomic.Uint64
+)
+
+func nextTraceID() uint64 {
+	id := traceBase + traceSeq.Add(1)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// noteTrace collects one traced call's stitchable spans: a synthesized
+// client.rpc span (issue to completion) and client.flush span (issue
+// to the flush that put the frame on the wire), plus every span the
+// response relayed from the proxy and backend. A call whose peer never
+// negotiated v2 has IssuedNs == 0 and contributes nothing.
+func (st *connStats) noteTrace(traceID uint64, call *server.Call, endNs int64) {
+	if call.IssuedNs == 0 || len(st.spans) >= maxTraceSpans {
+		return
+	}
+	st.traced++
+	st.spans = append(st.spans, telemetry.StitchedSpan{TraceID: traceID, Span: telemetry.SpanRecord{
+		Start: call.IssuedNs, Dur: endNs - call.IssuedNs,
+		Proc: telemetry.ProcClient, Stage: telemetry.StageRPC,
+	}})
+	if call.SentNs >= call.IssuedNs {
+		st.spans = append(st.spans, telemetry.StitchedSpan{TraceID: traceID, Span: telemetry.SpanRecord{
+			Start: call.IssuedNs, Dur: call.SentNs - call.IssuedNs,
+			Proc: telemetry.ProcClient, Stage: telemetry.StageFlush,
+		}})
+	}
+	for _, sp := range call.Spans {
+		st.spans = append(st.spans, telemetry.StitchedSpan{TraceID: traceID, Span: sp})
+	}
 }
 
 // noteMismatch records one bit mismatch against its function.
@@ -167,9 +295,11 @@ func (st *connStats) noteMismatch(name string, in, got, want uint32) {
 }
 
 // runSync drives one connection with a single request in flight —
-// classic blocking RPC, measuring unpipelined round trips.
-func runSync(c *server.Client, st *connStats, work []workload, code uint8, batch, ci int, stop time.Time, verify bool) {
+// classic blocking RPC, measuring unpipelined round trips. Every
+// traceEvery-th request (0 = never) goes out with a trace context.
+func runSync(c *server.Client, st *connStats, work []workload, code uint8, batch, ci int, stop time.Time, verify bool, traceEvery int) {
 	off := ci * 131 // de-phase connections across the input arrays
+	done := make(chan *server.Call, 1)
 	for i := 0; time.Now().Before(stop); i++ {
 		w := &work[(ci+i)%len(work)]
 		lo := (off + i*batch) % len(w.in)
@@ -178,9 +308,24 @@ func runSync(c *server.Client, st *connStats, work []workload, code uint8, batch
 			hi = len(w.in)
 		}
 		in := w.in[lo:hi]
-		start := time.Now()
-		got, status, err := c.EvalBits(code, w.name, nil, in)
-		lat := time.Since(start)
+		var got []uint32
+		var status uint8
+		var err error
+		var lat time.Duration
+		if traceEvery > 0 && i%traceEvery == 0 {
+			traceID := nextTraceID()
+			start := time.Now()
+			call := <-c.GoTraced(code, w.name, nil, in, done, 0, traceID, 0).Done
+			lat = time.Since(start)
+			got, status, err = call.Dst, call.Status, call.Err
+			if err == nil {
+				st.noteTrace(traceID, call, time.Now().UnixNano())
+			}
+		} else {
+			start := time.Now()
+			got, status, err = c.EvalBits(code, w.name, nil, in)
+			lat = time.Since(start)
+		}
 		if err != nil {
 			st.transport++
 			return
@@ -211,12 +356,13 @@ func runSync(c *server.Client, st *connStats, work []workload, code uint8, batch
 // its slot, so the pipe stays full until the deadline and then drains.
 // Each slot owns a reusable dst buffer (the client writes results in
 // place), so the steady-state loop allocates nothing per request.
-func runPipelined(c *server.Client, st *connStats, work []workload, code uint8, batch, depth, ci int, stop time.Time, verify bool) {
+func runPipelined(c *server.Client, st *connStats, work []workload, code uint8, batch, depth, ci int, stop time.Time, verify bool, traceEvery int) {
 	type slot struct {
-		w     *workload
-		lo    int
-		start time.Time
-		dst   []uint32
+		w       *workload
+		lo      int
+		start   time.Time
+		traceID uint64
+		dst     []uint32
 	}
 	done := make(chan *server.Call, depth)
 	slots := make([]slot, depth)
@@ -236,8 +382,13 @@ func runPipelined(c *server.Client, st *connStats, work []workload, code uint8, 
 		if cap(sl.dst) < hi-lo {
 			sl.dst = make([]uint32, hi-lo)
 		}
-		call := c.Go(code, w.name, sl.dst[:hi-lo], w.in[lo:hi], done)
-		call.Tag = uint64(si)
+		sl.traceID = 0
+		if traceEvery > 0 && i%traceEvery == 0 {
+			sl.traceID = nextTraceID()
+			c.GoTraced(code, w.name, sl.dst[:hi-lo], w.in[lo:hi], done, uint64(si), sl.traceID, 0)
+		} else {
+			c.GoTagged(code, w.name, sl.dst[:hi-lo], w.in[lo:hi], done, uint64(si))
+		}
 	}
 	inflight := 0
 	for si := 0; si < depth; si++ {
@@ -253,6 +404,9 @@ func runPipelined(c *server.Client, st *connStats, work []workload, code uint8, 
 		if call.Err != nil {
 			st.transport++
 			return
+		}
+		if sl.traceID != 0 {
+			st.noteTrace(sl.traceID, call, time.Now().UnixNano())
 		}
 		switch call.Status {
 		case server.StatusOK:
@@ -292,7 +446,18 @@ func main() {
 	minRate := flag.Float64("min-rate", 0, "fail unless throughput reaches this many values/s")
 	maxBusyFrac := flag.Float64("max-busy-frac", -1, "fail if more than this fraction of requests is shed with BUSY (-1 disables)")
 	quiet := flag.Bool("quiet", false, "only print the summary line")
+	traceFrac := flag.Float64("trace-frac", 0, "fraction of requests to trace end-to-end (0 disables)")
+	traceOut := flag.String("trace-out", "", "write collected spans as stitched Chrome-trace JSON to this file")
+	flightAdmin := flag.String("flight-admin", "", "comma-separated admin addresses to flight-dump on bit mismatch")
 	flag.Parse()
+
+	traceEvery := 0
+	if *traceFrac > 0 {
+		traceEvery = int(1 / *traceFrac)
+		if traceEvery < 1 {
+			traceEvery = 1
+		}
+	}
 
 	var addrs []string
 	for _, a := range strings.Split(*addr, ",") {
@@ -359,10 +524,20 @@ func main() {
 				return
 			}
 			defer c.Close()
+			if traceEvery > 0 {
+				// One ping before load: its response carries the peer's
+				// protocol-version advertisement, so the very first
+				// traced request can already go out at v2 instead of
+				// silently degrading until some response negotiates.
+				if err := c.Ping(); err != nil {
+					st.transport++
+					return
+				}
+			}
 			if *pipeline > 0 {
-				runPipelined(c, st, work, code, *batch, *pipeline, ci, stop, *verify)
+				runPipelined(c, st, work, code, *batch, *pipeline, ci, stop, *verify, traceEvery)
 			} else {
-				runSync(c, st, work, code, *batch, ci, stop, *verify)
+				runSync(c, st, work, code, *batch, ci, stop, *verify, traceEvery)
 			}
 		}(ci)
 	}
@@ -375,6 +550,7 @@ func main() {
 
 	var total connStats
 	var lats []time.Duration
+	var allSpans []telemetry.StitchedSpan
 	perEndpoint := make(map[string]*connStats)
 	badFuncs := make(map[string]map[string]*funcStats) // endpoint -> func -> attribution
 	for i := range stats {
@@ -385,6 +561,8 @@ func main() {
 		total.errFrames += st.errFrames
 		total.transport += st.transport
 		total.mismatches += st.mismatches
+		total.traced += st.traced
+		allSpans = append(allSpans, st.spans...)
 		lats = append(lats, st.latencies...)
 		ep := perEndpoint[st.endpoint]
 		if ep == nil {
@@ -445,6 +623,40 @@ func main() {
 			fmt.Printf("  endpoint %s: requests=%d values=%d (%.0f values/s) busy=%d err_frames=%d transport_errs=%d mismatches=%d\n",
 				a, ep.requests, ep.values, float64(ep.values)/elapsed.Seconds(),
 				ep.busy, ep.errFrames, ep.transport, ep.mismatches)
+		}
+	}
+	if total.traced > 0 {
+		printWaterfall(allSpans, total.traced)
+	}
+	if *traceOut != "" && len(allSpans) > 0 {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = telemetry.WriteStitchedTrace(f, allSpans)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlibmload: writing %s: %v\n", *traceOut, err)
+		} else {
+			fmt.Printf("  stitched trace: %d spans -> %s\n", len(allSpans), *traceOut)
+		}
+	}
+	if total.mismatches > 0 && *flightAdmin != "" {
+		// A bit mismatch is exactly the anomaly the serving-side flight
+		// recorders exist for: ask each admin endpoint to dump its ring
+		// before anyone restarts a process and loses the context.
+		for _, a := range strings.Split(*flightAdmin, ",") {
+			if a = strings.TrimSpace(a); a == "" {
+				continue
+			}
+			resp, err := http.Get("http://" + a + "/debug/flight/trigger?reason=bit-mismatch")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rlibmload: flight trigger %s: %v\n", a, err)
+				continue
+			}
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "rlibmload: flight dump triggered on %s\n", a)
 		}
 	}
 	if total.mismatches > 0 {

@@ -13,7 +13,11 @@
 // The admin listener exports Prometheus text metrics at /metrics —
 // per-backend health, latency, error, ejection and re-admission
 // series alongside aggregate routing counters — and pprof at
-// /debug/pprof/. SIGINT/SIGTERM trigger a graceful drain.
+// /debug/pprof/. The always-on flight recorder serves the recent wide
+// events at /debug/flight and dumps them to -flight-dir when an
+// anomaly fires (backend ejection, sustained BUSY fraction, SIGQUIT,
+// or an external hit on /debug/flight/trigger). SIGINT/SIGTERM
+// trigger a graceful drain.
 package main
 
 import (
@@ -52,6 +56,9 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "downstream per-frame read deadline")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "downstream flush deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+	flightDir := flag.String("flight-dir", ".", "directory for flight-recorder anomaly dumps; empty keeps the ring in-memory only")
+	flightEvents := flag.Int("flight-events", 4096, "wide events retained in the flight-recorder ring")
+	busyDumpFrac := flag.Float64("busy-dump-frac", 0.5, "shed fraction that triggers a flight dump (negative disables)")
 	flag.Parse()
 
 	var addrs []string
@@ -82,13 +89,16 @@ func main() {
 		PassiveFailAfter: *passiveFailAfter,
 		ReadTimeout:      *readTimeout,
 		WriteTimeout:     *writeTimeout,
+		FlightDir:        *flightDir,
+		FlightEvents:     *flightEvents,
+		BusyDumpFrac:     *busyDumpFrac,
 	})
 	if err != nil {
 		log.Fatalf("rlibmproxy: %v", err)
 	}
 
 	if *admin != "" {
-		adminSrv := &http.Server{Addr: *admin, Handler: p.Metrics().AdminHandler()}
+		adminSrv := &http.Server{Addr: *admin, Handler: p.AdminHandler()}
 		go func() {
 			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("rlibmproxy: admin listener: %v", err)
@@ -96,6 +106,17 @@ func main() {
 		}()
 		defer adminSrv.Close()
 	}
+
+	// SIGQUIT dumps the flight ring without stopping the proxy.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			if path, ok := p.Flight().TriggerDump("sigquit"); ok {
+				log.Printf("rlibmproxy: flight recorder dumped to %s", path)
+			}
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -387,6 +387,15 @@ func render(w io.Writer, url string, cur, prev *snap, dt float64) {
 	} else {
 		fmt.Fprintf(w, "oracle cache: idle\n")
 	}
+
+	// Distributed tracing and the flight recorder: how many frames
+	// carried a trace context, and how many anomaly dumps have been
+	// written since start (cumulative — a nonzero value is a pointer at
+	// flight-*.json files worth reading).
+	traced := delta(cur, prev, "rlibmd_traced_frames_total")
+	dumps, _ := cur.value("rlibmd_flight_dumps_total", nil)
+	fmt.Fprintf(w, "tracing: %s traced frames%s  flight dumps %.0f\n",
+		fmtCount(rate(traced)), unit, dumps)
 }
 
 // ---------------------------------------------------------------------

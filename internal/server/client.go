@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rlibm32/internal/telemetry"
 	"rlibm32/posit32"
 
 	rlibm "rlibm32"
@@ -46,8 +47,19 @@ type Call struct {
 	Done   chan *Call // receives the Call on completion; cap ≥ 1
 	Tag    uint64     // caller scratch (e.g. a slot index); not touched
 
-	op uint8
-	id uint32
+	// Trace context (GoTraced). TraceID != 0 makes the writer encode a
+	// v2 frame; on completion it holds the trace id echoed by the
+	// server, Spans the per-stage records the response carried, and
+	// IssuedNs/SentNs the client-side issue and flush timestamps (unix
+	// ns) for the client.rpc / client.flush spans.
+	TraceID  uint64
+	Spans    []telemetry.SpanRecord
+	IssuedNs int64
+	SentNs   int64
+
+	op         uint8
+	traceFlags uint64
+	id         uint32
 
 	// state sequences the writer's reads of the request fields against
 	// the caller's reuse of the Call after completion. The writer CASes
@@ -103,6 +115,11 @@ type Client struct {
 	quit     chan struct{} // closed once on Close or transport failure
 	quitOnce sync.Once
 
+	// peerVer is the highest protocol version the server has advertised
+	// (in response pad bytes); starts at ProtoVersion, so traced sends
+	// degrade to v1 until the peer proves it understands v2.
+	peerVer atomic.Uint32
+
 	callPool sync.Pool // *Call with a cap-1 Done channel, for the sync API
 }
 
@@ -131,10 +148,17 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 		quit:    make(chan struct{}),
 	}
 	c.callPool.New = func() any { return &Call{Done: make(chan *Call, 1)} }
+	c.peerVer.Store(ProtoVersion)
 	go c.writer()
 	go c.reader()
 	return c, nil
 }
+
+// PeerVersion returns the highest protocol version the server has
+// advertised on this connection (ProtoVersion until a response has
+// been seen; v2-capable servers advertise in every response's pad
+// byte, so one Ping after dialing completes negotiation).
+func (c *Client) PeerVersion() uint8 { return uint8(c.peerVer.Load()) }
 
 // Close tears the connection down; in-flight calls complete with
 // ErrClientClosed (or the read error that raced it).
@@ -224,6 +248,28 @@ func (c *Client) GoTagged(typ uint8, name string, dst, src []uint32, done chan *
 	return call
 }
 
+// GoTraced is GoTagged with a trace context attached: the request goes
+// out as a v2 frame carrying traceID and flags, and on completion
+// Call.TraceID, Call.Spans, Call.IssuedNs and Call.SentNs hold the
+// stitchable trace material. A traceID of 0 means untraced. Tracing
+// degrades silently when the peer has not advertised v2 support
+// (PeerVersion < 2; Ping once after dialing to learn it): the frame is
+// sent untraced, so old servers never see a version byte they would
+// reject.
+func (c *Client) GoTraced(typ uint8, name string, dst, src []uint32, done chan *Call, tag, traceID, flags uint64) *Call {
+	if done == nil {
+		done = make(chan *Call, 1)
+	}
+	call := &Call{Type: typ, Name: name, Src: src, Dst: dst, Done: done, Tag: tag, op: OpEval}
+	if traceID != 0 && c.peerVer.Load() >= ProtoVersionTraced {
+		call.TraceID = traceID
+		call.traceFlags = flags
+		call.IssuedNs = time.Now().UnixNano()
+	}
+	c.start(call)
+	return call
+}
+
 // start validates and enqueues a prepared call.
 func (c *Client) start(call *Call) {
 	if call.op == OpEval {
@@ -298,6 +344,7 @@ func (c *Client) writer() {
 		wire   net.Buffers // consumable header for WriteTo; declared here so no flush allocates
 		window []*Call
 		kept   []*Call
+		traced []*Call
 	)
 	for {
 		var call *Call
@@ -332,11 +379,20 @@ func (c *Client) writer() {
 		c.mu.Unlock()
 		var err error
 		if len(kept) > 0 {
-			hdrs, arena, bufs = hdrs[:0], arena[:0], bufs[:0]
+			hdrs, arena, bufs, traced = hdrs[:0], arena[:0], bufs[:0], traced[:0]
 			for _, cl := range kept {
 				width := TypeWidth(cl.Type)
 				off := len(hdrs)
-				hdrs = appendRequestHeader(hdrs, cl.op, cl.Type, cl.Name, cl.id, len(cl.Src), width)
+				if cl.TraceID != 0 {
+					// Snapshot traced calls now, before any byte reaches the
+					// wire: once WriteTo starts, a response can land and the
+					// reader overwrites TraceID with the server's echo, so
+					// re-reading it after the flush would race.
+					traced = append(traced, cl)
+					hdrs = appendTracedRequestHeader(hdrs, cl.op, cl.Type, cl.Name, cl.id, len(cl.Src), width, cl.TraceID, cl.traceFlags)
+				} else {
+					hdrs = appendRequestHeader(hdrs, cl.op, cl.Type, cl.Name, cl.id, len(cl.Src), width)
+				}
 				bufs = append(bufs, hdrs[off:len(hdrs):len(hdrs)])
 				if len(cl.Src) > 0 {
 					if width == 4 && hostLE {
@@ -353,6 +409,15 @@ func (c *Client) writer() {
 			_, err = wire.WriteTo(c.conn)
 			for i := range bufs {
 				bufs[i] = nil
+			}
+			if err == nil && len(traced) > 0 {
+				// Stamp flush time on traced calls (one clock read per
+				// flush, not per call) — still under wmu and before the
+				// sent CAS, so no consumer can be reading SentNs yet.
+				sentNs := time.Now().UnixNano()
+				for _, cl := range traced {
+					cl.SentNs = sentNs
+				}
 			}
 		}
 		// Done reading every call in the window. A completion that beat
@@ -425,13 +490,33 @@ func (c *Client) reader() {
 			c.fail(fmt.Errorf("server: read: %w", err))
 			return
 		}
-		if len(frame) < respHeaderLen || frame[0] != ProtoVersion {
+		if len(frame) < respHeaderLen || (frame[0] != ProtoVersion && frame[0] != ProtoVersionTraced) {
 			c.fail(fmt.Errorf("%w: bad response header", ErrBadFrame))
 			return
 		}
 		status, typ := frame[1], frame[2]
 		id := binary.LittleEndian.Uint32(frame[4:])
 		count := int(binary.LittleEndian.Uint32(frame[8:]))
+		hdr := respHeaderLen
+		traced := frame[0] == ProtoVersionTraced
+		var traceID uint64
+		nspans := 0
+		if traced {
+			nspans = int(frame[3])
+			hdr += TraceBlockLen + nspans*spanRecLen
+			if len(frame) < hdr {
+				c.fail(fmt.Errorf("%w: trace block truncated", ErrBadFrame))
+				return
+			}
+			traceID = binary.LittleEndian.Uint64(frame[12:])
+			if c.peerVer.Load() < ProtoVersionTraced {
+				c.peerVer.Store(ProtoVersionTraced)
+			}
+		} else if adv := uint32(frame[3]); adv > c.peerVer.Load() && adv <= MaxProtoVersion {
+			// v1 responses from v2-capable servers advertise in the pad
+			// byte; only the reader goroutine stores, so no CAS needed.
+			c.peerVer.Store(adv)
+		}
 		c.mu.Lock()
 		call := c.calls[id]
 		delete(c.calls, id)
@@ -441,9 +526,13 @@ func (c *Client) reader() {
 			return
 		}
 		call.Status = status
+		if traced {
+			call.TraceID = traceID
+			call.Spans = decodeSpanRecords(call.Spans, frame[respHeaderLen+TraceBlockLen:], nspans)
+		}
 		if status != StatusOK {
 			// Non-OK means "no results", and must carry none.
-			if count != 0 || len(frame) != respHeaderLen {
+			if count != 0 || len(frame) != hdr {
 				call.Err = fmt.Errorf("%w: error response with payload", ErrBadFrame)
 				call.complete()
 				c.fail(call.Err)
@@ -456,7 +545,7 @@ func (c *Client) reader() {
 		if count == 0 {
 			// Pings (and empty evals) complete here; an empty OK for a
 			// non-empty request is a broken server, not a smaller answer.
-			if len(frame) != respHeaderLen {
+			if len(frame) != hdr {
 				call.Err = fmt.Errorf("%w: response length %d for 0 values", ErrBadFrame, len(frame))
 				call.complete()
 				c.fail(call.Err)
@@ -472,7 +561,7 @@ func (c *Client) reader() {
 			continue
 		}
 		width := TypeWidth(typ)
-		if width == 0 || len(frame) != respHeaderLen+count*width {
+		if width == 0 || len(frame) != hdr+count*width {
 			call.Err = fmt.Errorf("%w: response length %d for %d values", ErrBadFrame, len(frame), count)
 			call.complete()
 			c.fail(call.Err)
@@ -484,7 +573,7 @@ func (c *Client) reader() {
 			call.complete()
 			continue
 		}
-		decodeValuesInto(call.Dst[:count], frame[respHeaderLen:], width)
+		decodeValuesInto(call.Dst[:count], frame[hdr:], width)
 		call.Dst = call.Dst[:count]
 		call.complete()
 	}
@@ -498,6 +587,8 @@ func (c *Client) roundTrip(op, typ uint8, name string, dst, src []uint32) (*Call
 	call := c.callPool.Get().(*Call)
 	call.Type, call.Name, call.Src, call.Dst = typ, name, src, dst
 	call.Status, call.Err, call.Tag, call.op = 0, nil, 0, op
+	call.TraceID, call.traceFlags, call.IssuedNs, call.SentNs = 0, 0, 0, 0
+	call.Spans = call.Spans[:0]
 	call.state.Store(callPending)
 	c.start(call)
 	<-call.Done

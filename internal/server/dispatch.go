@@ -173,6 +173,16 @@ type pending struct {
 	status uint8
 	dst    []uint32 // subslice of batch.buf when status is StatusOK
 	batch  *batchResult
+
+	// Trace context (v2 frames). The stamps are unix ns, taken only
+	// when a batch contains a traced pending, so the untraced hot path
+	// pays one branch and no clock reads.
+	traced     bool
+	traceID    uint64
+	traceFlags uint64
+	tAssemble  int64 // batch drained by a worker
+	tKern0     int64 // kernel entry
+	tKern1     int64 // kernel exit
 }
 
 var pendingPool = sync.Pool{New: func() any { return new(pending) }}
@@ -199,6 +209,8 @@ func (p *pending) release() {
 	}
 	p.ks, p.out, p.dst = nil, nil, nil
 	p.id, p.typ, p.status = 0, 0, 0
+	p.traced, p.traceID, p.traceFlags = false, 0, 0
+	p.tAssemble, p.tKern0, p.tKern1 = 0, 0, 0
 	pendingPool.Put(p)
 }
 
@@ -448,7 +460,22 @@ func (d *dispatcher) drain(q *queue, scratch []*pending) []*pending {
 }
 
 // runBatch evaluates one coalesced batch and delivers the results.
+// When any pending in the batch is traced, the stage boundaries —
+// batch pickup, kernel entry, kernel exit — are stamped so traced
+// responses can report backend.queue / backend.coalesce /
+// backend.kernel spans; untraced batches skip every clock read.
 func (d *dispatcher) runBatch(q *queue, batch []*pending, vals int) {
+	anyTraced := false
+	for _, p := range batch {
+		if p.traced {
+			anyTraced = true
+			break
+		}
+	}
+	var tAssemble int64
+	if anyTraced {
+		tAssemble = time.Now().UnixNano()
+	}
 	srcp := batchSrcPool.Get().(*[]uint32)
 	src := (*srcp)[:0]
 	for _, p := range batch {
@@ -460,17 +487,25 @@ func (d *dispatcher) runBatch(q *queue, batch []*pending, vals int) {
 	}
 	dst := res.buf[:vals]
 	res.refs.Store(int32(len(batch)))
+	var tKern0 int64
+	if anyTraced {
+		tKern0 = time.Now().UnixNano()
+	}
 	q.ks.eval(dst, src)
 	*srcp = src
 	batchSrcPool.Put(srcp)
 
 	now := time.Now()
+	tKern1 := now.UnixNano()
 	off := 0
 	for _, p := range batch {
 		p.dst = dst[off : off+len(p.src)]
 		off += len(p.src)
 		p.batch = res
 		p.status = StatusOK
+		if p.traced {
+			p.tAssemble, p.tKern0, p.tKern1 = tAssemble, tKern0, tKern1
+		}
 		if q.ks.fm != nil {
 			q.ks.fm.lat.ObserveDuration(now.Sub(p.start))
 		}

@@ -340,7 +340,7 @@ func TestPoolReconnectSoak(t *testing.T) {
 // exactly len(Src) results.
 func FuzzPipelinedResponses(f *testing.F) {
 	mk := func(status uint8, id uint32, bits []uint32) []byte {
-		b := appendResponseHeader(nil, status, TFloat32, id, len(bits), 4)
+		b := appendResponseHeader(nil, status, TFloat32, 0, id, len(bits), 4)
 		return appendValues(b, bits, 4)
 	}
 	var ooo []byte // ids completed 3, 1, 2: the reorder path

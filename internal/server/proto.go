@@ -12,7 +12,7 @@
 //
 //	request:  u32 len | u8 ver | u8 op | u8 type | u8 nameLen |
 //	          u32 id | u32 count | name[nameLen] | values[count*width]
-//	response: u32 len | u8 ver | u8 status | u8 type | u8 0 |
+//	response: u32 len | u8 ver | u8 status | u8 type | u8 pad |
 //	          u32 id | u32 count | values[count*width]
 //
 // len counts every byte after the length field itself. width is the
@@ -21,6 +21,18 @@
 // patterns (math.Float32bits for float32, the posit encoding for
 // posits, the 16-bit encodings for the half-width types); 16-bit
 // values occupy the low 16 bits of their Request/Response Bits entry.
+//
+// Version 2 frames carry an optional trace context for cross-process
+// request tracing. A v2 request inserts a 16-byte trace block (u64
+// trace id, u64 flags) between the fixed header and the name; a v2
+// response inserts the same block plus nspans (the pad byte) 24-byte
+// span records (u64 start unix ns, u64 dur ns, u8 proc, u8 stage, 6
+// reserved) before the values, letting each tier report where the
+// request spent its time. Negotiation is passive and backward
+// compatible: v1 responses from a v2-capable server carry the peer's
+// maximum version in the pad byte — a field v1 decoders never read —
+// and a client sends v2 frames only after seeing an advertisement, so
+// old peers are never handed a version byte they would reject.
 //
 // Inside the daemon, concurrent small requests for the same
 // (function, type) are coalesced into large batches before hitting the
@@ -38,16 +50,34 @@ import (
 	"unsafe"
 
 	"rlibm32/internal/libm"
+	"rlibm32/internal/telemetry"
 )
 
-// ProtoVersion is the wire protocol version byte.
+// ProtoVersion is the baseline wire protocol version byte; frames at
+// this version are byte-identical to the pre-tracing protocol.
 const ProtoVersion = 1
+
+// ProtoVersionTraced marks frames carrying a trace context block;
+// MaxProtoVersion is what a server advertises in v1 response pad
+// bytes.
+const (
+	ProtoVersionTraced = 2
+	MaxProtoVersion    = ProtoVersionTraced
+)
 
 // reqHeaderLen / respHeaderLen count the fixed bytes after the length
 // prefix.
 const (
 	reqHeaderLen  = 12
 	respHeaderLen = 12
+)
+
+// TraceBlockLen is the v2 trace context block (u64 trace id, u64
+// flags); spanRecLen is one encoded span record in a v2 response.
+const (
+	TraceBlockLen = 16
+	spanRecLen    = 24
+	maxFrameSpans = 255 // span count travels in the pad byte
 )
 
 // DefaultMaxFrame bounds the payload of a single frame (1 MiB: a
@@ -149,21 +179,35 @@ func TypeCode(variant string) (uint8, bool) {
 }
 
 // Request is a decoded request frame. Bits holds the raw input bit
-// patterns; 16-bit types use the low 16 bits of each entry.
+// patterns; 16-bit types use the low 16 bits of each entry. When
+// Traced is set, the frame is encoded at ProtoVersionTraced and
+// carries the trace block.
 type Request struct {
-	ID   uint32
-	Op   uint8
-	Type uint8
-	Name string
-	Bits []uint32
+	ID         uint32
+	Op         uint8
+	Type       uint8
+	Name       string
+	Bits       []uint32
+	Traced     bool
+	TraceID    uint64
+	TraceFlags uint64
 }
 
-// Response is a decoded response frame.
+// Response is a decoded response frame. Advert is the pad byte of a v1
+// frame: v2-capable servers advertise MaxProtoVersion there, v1
+// servers always send 0, and pre-tracing decoders never read it. A
+// traced (v2) response instead uses the pad byte as its span count and
+// echoes the request's trace block.
 type Response struct {
-	ID     uint32
-	Status uint8
-	Type   uint8
-	Bits   []uint32
+	ID         uint32
+	Status     uint8
+	Type       uint8
+	Advert     uint8
+	Bits       []uint32
+	Traced     bool
+	TraceID    uint64
+	TraceFlags uint64
+	Spans      []telemetry.SpanRecord
 }
 
 // Decode errors (the handler maps them to error frames/close).
@@ -251,13 +295,74 @@ func appendRequestHeader(dst []byte, op, typ uint8, name string, id uint32, coun
 
 // appendResponseHeader appends the 16-byte response frame header
 // (length prefix included) to dst; the value payload — count values at
-// width bytes — travels separately (net.Buffers scatter-gather).
-func appendResponseHeader(dst []byte, status, typ uint8, id uint32, count, width int) []byte {
+// width bytes — travels separately (net.Buffers scatter-gather). pad
+// is the version advertisement on server-emitted frames; v1 decoders
+// ignore the byte.
+func appendResponseHeader(dst []byte, status, typ, pad uint8, id uint32, count, width int) []byte {
 	frameLen := respHeaderLen + count*width
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameLen))
-	dst = append(dst, ProtoVersion, status, typ, 0)
+	dst = append(dst, ProtoVersion, status, typ, pad)
 	dst = binary.LittleEndian.AppendUint32(dst, id)
 	return binary.LittleEndian.AppendUint32(dst, uint32(count))
+}
+
+// appendTracedRequestHeader appends a v2 request header: the v1 fixed
+// header at version ProtoVersionTraced, the 16-byte trace block, then
+// the name. The value payload travels separately.
+func appendTracedRequestHeader(dst []byte, op, typ uint8, name string, id uint32, count, width int, traceID, flags uint64) []byte {
+	frameLen := reqHeaderLen + TraceBlockLen + len(name) + count*width
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameLen))
+	dst = append(dst, ProtoVersionTraced, op, typ, uint8(len(name)))
+	dst = binary.LittleEndian.AppendUint32(dst, id)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(count))
+	dst = binary.LittleEndian.AppendUint64(dst, traceID)
+	dst = binary.LittleEndian.AppendUint64(dst, flags)
+	return append(dst, name...)
+}
+
+// appendTracedResponseHeader appends a v2 response header: pad byte =
+// span count, then the echoed trace block and the encoded span
+// records. The value payload travels separately. Spans beyond
+// maxFrameSpans are dropped (the count must fit the pad byte).
+func appendTracedResponseHeader(dst []byte, status, typ uint8, id uint32, count, width int, traceID, flags uint64, spans []telemetry.SpanRecord) []byte {
+	if len(spans) > maxFrameSpans {
+		spans = spans[:maxFrameSpans]
+	}
+	frameLen := respHeaderLen + TraceBlockLen + len(spans)*spanRecLen + count*width
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameLen))
+	dst = append(dst, ProtoVersionTraced, status, typ, uint8(len(spans)))
+	dst = binary.LittleEndian.AppendUint32(dst, id)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(count))
+	dst = binary.LittleEndian.AppendUint64(dst, traceID)
+	dst = binary.LittleEndian.AppendUint64(dst, flags)
+	return appendSpanRecords(dst, spans)
+}
+
+// appendSpanRecords encodes spans as 24-byte wire records.
+func appendSpanRecords(dst []byte, spans []telemetry.SpanRecord) []byte {
+	for _, s := range spans {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Start))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Dur))
+		dst = append(dst, s.Proc, s.Stage, 0, 0, 0, 0, 0, 0)
+	}
+	return dst
+}
+
+// decodeSpanRecords decodes n wire span records from p into dst
+// (emptied and reused; grown only past its capacity). The caller must
+// have validated that p holds n*spanRecLen bytes.
+func decodeSpanRecords(dst []telemetry.SpanRecord, p []byte, n int) []telemetry.SpanRecord {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		rec := p[i*spanRecLen:]
+		dst = append(dst, telemetry.SpanRecord{
+			Start: int64(binary.LittleEndian.Uint64(rec)),
+			Dur:   int64(binary.LittleEndian.Uint64(rec[8:])),
+			Proc:  rec[16],
+			Stage: rec[17],
+		})
+	}
+	return dst
 }
 
 // AppendRequest appends the wire encoding of req to dst and returns
@@ -270,12 +375,11 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	if len(req.Name) > 255 {
 		return dst, fmt.Errorf("%w: function name too long", ErrBadFrame)
 	}
-	frameLen := reqHeaderLen + len(req.Name) + len(req.Bits)*width
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameLen))
-	dst = append(dst, ProtoVersion, req.Op, req.Type, uint8(len(req.Name)))
-	dst = binary.LittleEndian.AppendUint32(dst, req.ID)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Bits)))
-	dst = append(dst, req.Name...)
+	if req.Traced {
+		dst = appendTracedRequestHeader(dst, req.Op, req.Type, req.Name, req.ID, len(req.Bits), width, req.TraceID, req.TraceFlags)
+	} else {
+		dst = appendRequestHeader(dst, req.Op, req.Type, req.Name, req.ID, len(req.Bits), width)
+	}
 	return appendValues(dst, req.Bits, width), nil
 }
 
@@ -286,24 +390,39 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 // each; decode them with DecodeValuesInto. The proxy tier forwards
 // frames from this view without materializing a Request.
 type ParsedRequest struct {
-	Op      uint8
-	Type    uint8
-	ID      uint32
-	Count   int
-	Name    []byte
-	Payload []byte
+	Op         uint8
+	Type       uint8
+	ID         uint32
+	Count      int
+	Name       []byte
+	Payload    []byte
+	Traced     bool
+	TraceID    uint64
+	TraceFlags uint64
 }
 
 // ParseRequest validates a request frame (the bytes after the length
 // prefix) — version, opcode, type code, exact length consistency —
-// and returns a zero-copy view of it.
+// and returns a zero-copy view of it. Version 2 frames additionally
+// yield the trace block.
 func ParseRequest(frame []byte) (ParsedRequest, error) {
 	var pr ParsedRequest
 	if len(frame) < reqHeaderLen {
 		return pr, fmt.Errorf("%w: request header truncated (%d bytes)", ErrBadFrame, len(frame))
 	}
-	if frame[0] != ProtoVersion {
-		return pr, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, frame[0], ProtoVersion)
+	hdr := reqHeaderLen
+	switch frame[0] {
+	case ProtoVersion:
+	case ProtoVersionTraced:
+		if len(frame) < reqHeaderLen+TraceBlockLen {
+			return pr, fmt.Errorf("%w: trace block truncated (%d bytes)", ErrBadFrame, len(frame))
+		}
+		pr.Traced = true
+		pr.TraceID = binary.LittleEndian.Uint64(frame[12:])
+		pr.TraceFlags = binary.LittleEndian.Uint64(frame[20:])
+		hdr += TraceBlockLen
+	default:
+		return pr, fmt.Errorf("%w: got %d, want <= %d", ErrBadVersion, frame[0], MaxProtoVersion)
 	}
 	pr.Op, pr.Type = frame[1], frame[2]
 	pr.ID = binary.LittleEndian.Uint32(frame[4:])
@@ -311,7 +430,7 @@ func ParseRequest(frame []byte) (ParsedRequest, error) {
 	pr.Count = int(binary.LittleEndian.Uint32(frame[8:]))
 	switch pr.Op {
 	case OpPing:
-		if nameLen != 0 || pr.Count != 0 || len(frame) != reqHeaderLen {
+		if nameLen != 0 || pr.Count != 0 || len(frame) != hdr {
 			return pr, fmt.Errorf("%w: ping carries a payload", ErrBadFrame)
 		}
 		return pr, nil
@@ -323,11 +442,11 @@ func ParseRequest(frame []byte) (ParsedRequest, error) {
 	if width == 0 {
 		return pr, fmt.Errorf("%w: unknown type code %d", ErrBadFrame, pr.Type)
 	}
-	if want := reqHeaderLen + nameLen + pr.Count*width; len(frame) != want {
+	if want := hdr + nameLen + pr.Count*width; len(frame) != want {
 		return pr, fmt.Errorf("%w: frame length %d, header implies %d", ErrBadFrame, len(frame), want)
 	}
-	pr.Name = frame[reqHeaderLen : reqHeaderLen+nameLen]
-	pr.Payload = frame[reqHeaderLen+nameLen:]
+	pr.Name = frame[hdr : hdr+nameLen]
+	pr.Payload = frame[hdr+nameLen:]
 	return pr, nil
 }
 
@@ -340,7 +459,10 @@ func DecodeRequest(frame []byte) (*Request, error) {
 	if err != nil {
 		return nil, err
 	}
-	req := &Request{Op: pr.Op, Type: pr.Type, ID: pr.ID, Name: string(pr.Name)}
+	req := &Request{
+		Op: pr.Op, Type: pr.Type, ID: pr.ID, Name: string(pr.Name),
+		Traced: pr.Traced, TraceID: pr.TraceID, TraceFlags: pr.TraceFlags,
+	}
 	if pr.Op == OpEval {
 		req.Bits = decodeValues(pr.Payload, pr.Count, TypeWidth(pr.Type))
 	}
@@ -357,49 +479,68 @@ func DecodeValuesInto(dst []uint32, payload []byte, width int) {
 
 // AppendResponse appends the wire encoding of resp to dst. A response
 // with an unknown type code must carry no values (error responses echo
-// the request's type code verbatim, which may be garbage).
+// the request's type code verbatim, which may be garbage). Traced
+// responses encode at v2 with resp.Spans; untraced ones encode at v1
+// with resp.Advert in the pad byte.
 func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 	width := TypeWidth(resp.Type)
 	if width == 0 && len(resp.Bits) > 0 {
 		return dst, fmt.Errorf("%w: values with unknown type code %d", ErrBadFrame, resp.Type)
 	}
-	frameLen := respHeaderLen + len(resp.Bits)*width
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameLen))
-	dst = append(dst, ProtoVersion, resp.Status, resp.Type, 0)
-	dst = binary.LittleEndian.AppendUint32(dst, resp.ID)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Bits)))
+	if resp.Traced {
+		dst = appendTracedResponseHeader(dst, resp.Status, resp.Type, resp.ID, len(resp.Bits), width, resp.TraceID, resp.TraceFlags, resp.Spans)
+	} else {
+		dst = appendResponseHeader(dst, resp.Status, resp.Type, resp.Advert, resp.ID, len(resp.Bits), width)
+	}
 	return appendValues(dst, resp.Bits, width), nil
 }
 
 // DecodeResponse parses a response frame (the bytes after the length
-// prefix).
+// prefix). For v1 frames the pad byte lands in Advert; for v2 frames
+// the trace block and span records land in TraceID/TraceFlags/Spans.
 func DecodeResponse(frame []byte) (*Response, error) {
 	if len(frame) < respHeaderLen {
 		return nil, fmt.Errorf("%w: response header truncated (%d bytes)", ErrBadFrame, len(frame))
-	}
-	if frame[0] != ProtoVersion {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, frame[0], ProtoVersion)
 	}
 	resp := &Response{
 		Status: frame[1],
 		Type:   frame[2],
 		ID:     binary.LittleEndian.Uint32(frame[4:]),
 	}
+	hdr := respHeaderLen
+	switch frame[0] {
+	case ProtoVersion:
+		resp.Advert = frame[3]
+	case ProtoVersionTraced:
+		nspans := int(frame[3])
+		hdr += TraceBlockLen + nspans*spanRecLen
+		if len(frame) < hdr {
+			return nil, fmt.Errorf("%w: trace block truncated (%d bytes, %d spans)", ErrBadFrame, len(frame), nspans)
+		}
+		resp.Traced = true
+		resp.TraceID = binary.LittleEndian.Uint64(frame[12:])
+		resp.TraceFlags = binary.LittleEndian.Uint64(frame[20:])
+		if nspans > 0 {
+			resp.Spans = decodeSpanRecords(nil, frame[respHeaderLen+TraceBlockLen:], nspans)
+		}
+	default:
+		return nil, fmt.Errorf("%w: got %d, want <= %d", ErrBadVersion, frame[0], MaxProtoVersion)
+	}
 	count := int(binary.LittleEndian.Uint32(frame[8:]))
 	width := TypeWidth(resp.Type)
 	if count == 0 {
-		if len(frame) != respHeaderLen {
-			return nil, fmt.Errorf("%w: empty response with %d trailing bytes", ErrBadFrame, len(frame)-respHeaderLen)
+		if len(frame) != hdr {
+			return nil, fmt.Errorf("%w: empty response with %d trailing bytes", ErrBadFrame, len(frame)-hdr)
 		}
 		return resp, nil
 	}
 	if width == 0 {
 		return nil, fmt.Errorf("%w: values with unknown type code %d", ErrBadFrame, resp.Type)
 	}
-	if want := respHeaderLen + count*width; len(frame) != want {
+	if want := hdr + count*width; len(frame) != want {
 		return nil, fmt.Errorf("%w: frame length %d, header implies %d", ErrBadFrame, len(frame), want)
 	}
-	resp.Bits = decodeValues(frame[respHeaderLen:], count, width)
+	resp.Bits = decodeValues(frame[hdr:], count, width)
 	return resp, nil
 }
 

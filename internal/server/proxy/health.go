@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rlibm32/internal/server"
+	"rlibm32/internal/telemetry"
 )
 
 // backend is one rlibmd replica: its address, its lazily dialed
@@ -57,11 +58,15 @@ func (bk *backend) reportSuccess() {
 }
 
 // eject masks the backend out of the ring. Idempotent under races:
-// only the winning CAS counts the transition.
+// only the winning CAS counts the transition. An ejection is exactly
+// the moment the preceding traffic is interesting, so it fires a
+// flight-recorder dump (rate-limited inside TriggerDump).
 func (p *Proxy) eject(bk *backend, why string) {
 	if bk.healthy.CompareAndSwap(true, false) {
 		bk.m.Ejections.Inc()
 		bk.m.Healthy.Set(0)
+		p.flight.Record(&telemetry.WideEvent{Kind: telemetry.EvEject, Note: bk.addr})
+		p.flight.TriggerDump("backend-ejection")
 		p.logf("proxy: backend %s ejected (%s)", bk.addr, why)
 	}
 }
@@ -73,6 +78,7 @@ func (p *Proxy) readmit(bk *backend) {
 		bk.passiveFails.Store(0)
 		bk.m.Readmissions.Inc()
 		bk.m.Healthy.Set(1)
+		p.flight.Record(&telemetry.WideEvent{Kind: telemetry.EvReadmit, Note: bk.addr})
 		p.logf("proxy: backend %s re-admitted", bk.addr)
 	}
 }

@@ -34,14 +34,25 @@ func newClientPool(addr string, size int, timeout time.Duration) *clientPool {
 // is empty or its previous connection failed. A dial error leaves the
 // slot empty and surfaces to the caller (who counts it as a backend
 // failure and fails over).
+//
+// The dial and its follow-up ping run outside the pool mutex — a slow
+// backend must not stall every forwarder round-robining through the
+// pool. The ping does double duty: it proves the connection actually
+// serves requests (a dial alone only proves a listener), and its
+// response carries the backend's protocol-version advertisement, so a
+// traced frame issued right after get() already knows whether the
+// backend speaks v2 (server.Client.GoTraced degrades to v1 silently
+// otherwise — and would keep degrading until some later response
+// negotiated, losing the backend spans the stitched trace needs).
 func (p *clientPool) get() (*server.Client, error) {
 	i := int(p.next.Add(1)) % len(p.clients)
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return nil, server.ErrClientClosed
 	}
 	c := p.clients[i]
+	p.mu.Unlock()
 	if c != nil && !c.Broken() {
 		return c, nil
 	}
@@ -49,8 +60,23 @@ func (p *clientPool) get() (*server.Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	if c != nil {
-		c.Close()
+	if err := fresh.Ping(); err != nil {
+		fresh.Close()
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		fresh.Close()
+		return nil, server.ErrClientClosed
+	}
+	// Another goroutine may have repaired the slot while we dialed;
+	// keep the winner and discard the duplicate.
+	if cur := p.clients[i]; cur != nil && cur != c && !cur.Broken() {
+		fresh.Close()
+		return cur, nil
+	} else if cur != nil {
+		cur.Close()
 	}
 	p.clients[i] = fresh
 	return fresh, nil

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rlibm32/internal/libm"
 	"rlibm32/internal/server"
+	"rlibm32/internal/telemetry"
 )
 
 // Config tunes one Proxy. Zero values take the defaults noted on each
@@ -76,6 +78,17 @@ type Config struct {
 	// Logf receives operational events (ejections, re-admissions);
 	// defaults to log.Printf.
 	Logf func(format string, args ...any)
+	// FlightEvents sizes the always-on flight-recorder ring (default
+	// 4096 wide events).
+	FlightEvents int
+	// FlightDir is where anomaly triggers dump the flight ring as JSON
+	// ("" keeps the recorder in-memory only — /debug/flight still
+	// serves it).
+	FlightDir string
+	// BusyDumpFrac is the shed fraction that fires a "busy-fraction"
+	// flight dump, judged over sliding ~1s windows of admission
+	// verdicts (default 0.5; negative disables the trigger).
+	BusyDumpFrac float64
 }
 
 func (c *Config) withDefaults() Config {
@@ -131,6 +144,12 @@ func (c *Config) withDefaults() Config {
 	if out.Logf == nil {
 		out.Logf = log.Printf
 	}
+	if out.FlightEvents <= 0 {
+		out.FlightEvents = 4096
+	}
+	if out.BusyDumpFrac == 0 {
+		out.BusyDumpFrac = 0.5
+	}
 	return out
 }
 
@@ -154,6 +173,8 @@ type routeKey struct {
 type Proxy struct {
 	cfg         Config
 	m           *Metrics
+	flight      *telemetry.FlightRecorder
+	busyW       *telemetry.BusyWatch
 	backends    []*backend
 	ring        *ring
 	byType      [8]map[string]*routeKey
@@ -186,9 +207,16 @@ func New(cfg Config) (*Proxy, error) {
 	p := &Proxy{
 		cfg:       cfg,
 		m:         newMetrics(),
+		flight:    telemetry.NewFlightRecorder("rlibmproxy", cfg.FlightEvents),
 		ring:      buildRing(cfg.Backends, cfg.VNodes),
 		conns:     make(map[net.Conn]struct{}),
 		probeStop: make(chan struct{}),
+	}
+	p.flight.SetDump(cfg.FlightDir, 0, func(reason, path string, err error) {
+		p.m.flightDumps.Inc()
+	})
+	if cfg.BusyDumpFrac > 0 {
+		p.busyW = telemetry.NewBusyWatch(cfg.BusyDumpFrac, 1024, time.Second)
 	}
 	p.maxAttempts = min(len(cfg.Backends), cfg.Retries+1)
 	for i, addr := range cfg.Backends {
@@ -224,6 +252,17 @@ func New(cfg Config) (*Proxy, error) {
 // Metrics exposes the proxy's counters (for the admin listener and
 // tests).
 func (p *Proxy) Metrics() *Metrics { return p.m }
+
+// Flight exposes the proxy's always-on flight recorder (for the admin
+// listener, signal handlers, and tests).
+func (p *Proxy) Flight() *telemetry.FlightRecorder { return p.flight }
+
+// AdminHandler serves the full admin surface: everything
+// Metrics.AdminHandler provides (/metrics, /debug/pprof/*) plus the
+// flight recorder at /debug/flight and /debug/flight/trigger.
+func (p *Proxy) AdminHandler() http.Handler {
+	return p.flight.AdminHandler(p.m.AdminHandler())
+}
 
 func (p *Proxy) logf(format string, args ...any) { p.cfg.Logf(format, args...) }
 
@@ -326,6 +365,7 @@ func (p *Proxy) Serve(ln net.Listener) error {
 // responses flush, then stop the probers and close the backend pools.
 // ctx expiry hard-closes the remaining downstream connections.
 func (p *Proxy) Shutdown(ctx context.Context) error {
+	p.flight.Record(&telemetry.WideEvent{Kind: telemetry.EvDrain})
 	p.m.Draining.Set(1)
 	p.draining.Store(true)
 	p.mu.Lock()
@@ -381,16 +421,32 @@ type pslot struct {
 	attempts int
 	tried    uint64 // bitmask of backend idx already attempted
 	bk       *backend
-	start    time.Time // admission (downstream latency)
+	start    time.Time // admission (downstream latency); always set when traced
 	issued   time.Time // last forward attempt (per-backend latency)
+
+	// Trace relay state. A traced slot accumulates the proxy's own
+	// span events plus whatever spans each backend attempt returned,
+	// and the final downstream response carries them all at v2. The
+	// spans slice is reused across the slot's lifetimes, so steady-
+	// state tracing does not allocate either.
+	traced     bool
+	traceID    uint64
+	traceFlags uint64
+	spans      []telemetry.SpanRecord
 }
 
 // localResp is a response the proxy answers without any upstream call:
 // pings, admission sheds, unknown functions, malformed verdicts.
+// Traced evals keep their trace context even on local verdicts, so a
+// shed still stitches into the caller's trace; pings always answer v1
+// (their pad-byte advertisement is how peers discover v2 support).
 type localResp struct {
-	id     uint32
-	typ    uint8
-	status uint8
+	id      uint32
+	typ     uint8
+	status  uint8
+	traced  bool
+	traceID uint64
+	flags   uint64
 }
 
 // pconn is one downstream connection: a reader goroutine that
@@ -401,6 +457,7 @@ type localResp struct {
 type pconn struct {
 	p    *Proxy
 	conn net.Conn
+	hint uint32 // connection ordinal for flight-recorder events
 
 	slots       []pslot
 	freeIdx     chan int          // slot free list; doubles as the request-count bound
@@ -434,6 +491,7 @@ func (p *Proxy) handleConn(conn net.Conn) {
 	pc := &pconn{
 		p:          p,
 		conn:       conn,
+		hint:       uint32(p.m.Accepted.Load()),
 		slots:      make([]pslot, p.cfg.ClientRequests),
 		freeIdx:    make(chan int, p.cfg.ClientRequests),
 		done:       make(chan *server.Call, p.cfg.ClientRequests),
@@ -479,9 +537,11 @@ func (pc *pconn) readLoop() {
 		if err != nil {
 			if errors.Is(err, server.ErrFrameSize) {
 				p.m.Malformed.Inc()
+				p.flight.Record(&telemetry.WideEvent{Kind: telemetry.EvMalformed, Conn: pc.hint, Note: "frame-too-large"})
 				pc.locals <- localResp{status: server.StatusTooLarge}
 			} else if errors.Is(err, server.ErrBadFrame) {
 				p.m.Malformed.Inc()
+				p.flight.Record(&telemetry.WideEvent{Kind: telemetry.EvMalformed, Conn: pc.hint, Note: "bad-frame"})
 				pc.locals <- localResp{status: server.StatusMalformed}
 			}
 			return
@@ -489,8 +549,12 @@ func (pc *pconn) readLoop() {
 		pr, err := server.ParseRequest(frame)
 		if err != nil {
 			p.m.Malformed.Inc()
+			p.flight.Record(&telemetry.WideEvent{Kind: telemetry.EvMalformed, ID: pr.ID, Conn: pc.hint, Note: "bad-header"})
 			pc.locals <- localResp{id: pr.ID, status: server.StatusMalformed}
 			return
+		}
+		if pr.Traced {
+			p.m.TracedFrames.Inc()
 		}
 		if pr.Op == server.OpPing {
 			if p.draining.Load() {
@@ -502,32 +566,47 @@ func (pc *pconn) readLoop() {
 		}
 		rk := p.lookup(pr.Type, pr.Name)
 		if rk == nil {
-			pc.locals <- localResp{id: pr.ID, typ: pr.Type, status: server.StatusUnknownFunc}
+			p.flight.Record(&telemetry.WideEvent{
+				Kind: telemetry.EvFrame, Op: pr.Op, Type: pr.Type, Status: server.StatusUnknownFunc,
+				ID: pr.ID, Count: uint32(pr.Count), Conn: pc.hint, TraceID: pr.TraceID, Note: "unknown-func",
+			})
+			pc.locals <- localResp{id: pr.ID, typ: pr.Type, status: server.StatusUnknownFunc,
+				traced: pr.Traced, traceID: pr.TraceID, flags: pr.TraceFlags}
 			continue
 		}
 		if p.draining.Load() {
-			pc.locals <- localResp{id: pr.ID, typ: pr.Type, status: server.StatusShutdown}
+			pc.locals <- localResp{id: pr.ID, typ: pr.Type, status: server.StatusShutdown,
+				traced: pr.Traced, traceID: pr.TraceID, flags: pr.TraceFlags}
 			return
 		}
 		if pr.Count == 0 {
 			rk.km.Requests.Inc()
-			pc.locals <- localResp{id: pr.ID, typ: pr.Type, status: server.StatusOK}
+			pc.locals <- localResp{id: pr.ID, typ: pr.Type, status: server.StatusOK,
+				traced: pr.Traced, traceID: pr.TraceID, flags: pr.TraceFlags}
 			continue
+		}
+		// A traced frame reads the clock at admission entry so the
+		// admit span covers the shed checks and slot wait below;
+		// untraced frames keep the hot path clock-free.
+		var tRecv time.Time
+		if pr.Traced {
+			tRecv = time.Now()
 		}
 		n := int64(pr.Count)
 		if p.inflight.Add(n) > p.cfg.MaxInflight {
 			p.inflight.Add(-n)
 			p.m.BusyGlobal.Add(uint64(n))
-			pc.locals <- localResp{id: pr.ID, typ: pr.Type, status: server.StatusBusy}
+			pc.shed(&pr, rk, "global-inflight")
 			continue
 		}
 		if pc.connVals.Add(n) > p.cfg.ClientInflight {
 			pc.connVals.Add(-n)
 			p.inflight.Add(-n)
 			p.m.BusyClient.Add(uint64(n))
-			pc.locals <- localResp{id: pr.ID, typ: pr.Type, status: server.StatusBusy}
+			pc.shed(&pr, rk, "client-inflight")
 			continue
 		}
+		p.busyW.ObserveOK()
 		si := <-pc.freeIdx // blocks at ClientRequests in flight: TCP backpressure
 		sl := &pc.slots[si]
 		sl.id, sl.typ, sl.rk, sl.n = pr.ID, pr.Type, rk, pr.Count
@@ -541,20 +620,37 @@ func (pc *pconn) readLoop() {
 		sl.dst = sl.dst[:pr.Count]
 		server.DecodeValuesInto(sl.src, pr.Payload, rk.width)
 		sl.attempts, sl.tried, sl.bk = 0, 0, nil
+		sl.traced, sl.traceID, sl.traceFlags = pr.Traced, pr.TraceID, pr.TraceFlags
+		sl.spans = sl.spans[:0]
 		// Latency histograms are sampled 1-in-16: two clock reads per
 		// request (admission and issue) cost more than the rest of the
 		// proxy's per-request bookkeeping combined, and quantiles from
 		// a 1/16 sample are statistically indistinguishable at serving
-		// rates. A zero start marks an unsampled slot.
-		if nframes&15 == 0 {
+		// rates. A zero start marks an unsampled slot. Traced frames
+		// are always sampled — a trace with no proxy latency would be
+		// useless — and the *_sampled_total counters record how many
+		// observations each histogram actually received.
+		switch {
+		case pr.Traced:
+			now := time.Now()
+			sl.start = tRecv
+			sl.spans = append(sl.spans, telemetry.SpanRecord{
+				Start: tRecv.UnixNano(), Dur: now.Sub(tRecv).Nanoseconds(),
+				Proc: telemetry.ProcProxy, Stage: telemetry.StageAdmit,
+			})
+		case nframes&15 == 0:
 			sl.start = time.Now()
-		} else {
+		default:
 			sl.start = time.Time{}
 		}
 		p.m.Requests.Inc()
 		p.m.Values.Add(uint64(pr.Count))
 		rk.km.Requests.Inc()
 		rk.km.Values.Add(uint64(pr.Count))
+		p.flight.Record(&telemetry.WideEvent{
+			Kind: telemetry.EvFrame, Op: pr.Op, Type: pr.Type,
+			ID: pr.ID, Count: uint32(pr.Count), Conn: pc.hint, TraceID: pr.TraceID, Name: rk.name,
+		})
 		pc.outstanding.Add(1)
 		if !pc.tryIssue(si, sl) {
 			// No backend reachable at all: shed. The slot was never
@@ -564,10 +660,34 @@ func (pc *pconn) readLoop() {
 			// deliver through locals after releasing the slot.
 			p.m.Unrouted.Inc()
 			p.m.BusyUpstream.Inc()
+			p.flight.Record(&telemetry.WideEvent{
+				Kind: telemetry.EvShed, Op: server.OpEval, Type: pr.Type, Status: server.StatusBusy,
+				ID: pr.ID, Count: uint32(pr.Count), Conn: pc.hint, TraceID: pr.TraceID,
+				Name: rk.name, Note: "unrouted",
+			})
 			pc.releaseSlot(si, sl)
-			pc.locals <- localResp{id: pr.ID, typ: pr.Type, status: server.StatusBusy}
+			pc.locals <- localResp{id: pr.ID, typ: pr.Type, status: server.StatusBusy,
+				traced: pr.Traced, traceID: pr.TraceID, flags: pr.TraceFlags}
 		}
 	}
+}
+
+// shed answers an admission-refused frame BUSY without burning a slot,
+// records the wide event and feeds the BUSY-fraction anomaly trigger:
+// when sheds dominate admissions over a ~1s window the flight recorder
+// dumps itself, capturing the traffic that led into the overload.
+func (pc *pconn) shed(pr *server.ParsedRequest, rk *routeKey, note string) {
+	p := pc.p
+	p.flight.Record(&telemetry.WideEvent{
+		Kind: telemetry.EvShed, Op: server.OpEval, Type: pr.Type, Status: server.StatusBusy,
+		ID: pr.ID, Count: uint32(pr.Count), Conn: pc.hint, TraceID: pr.TraceID,
+		Name: rk.name, Note: note,
+	})
+	if p.busyW.ObserveShed() {
+		p.flight.TriggerDump("busy-fraction")
+	}
+	pc.locals <- localResp{id: pr.ID, typ: pr.Type, status: server.StatusBusy,
+		traced: pr.Traced, traceID: pr.TraceID, flags: pr.TraceFlags}
 }
 
 // tryIssue forwards a slot to the next ring replica, walking until a
@@ -576,6 +696,10 @@ func (pc *pconn) readLoop() {
 // backend could accept (the caller sheds).
 func (pc *pconn) tryIssue(si int, sl *pslot) bool {
 	p := pc.p
+	var tWalk time.Time
+	if sl.traced {
+		tWalk = time.Now()
+	}
 	for sl.attempts < p.maxAttempts {
 		bk := p.pick(sl.rk.hash, sl.tried)
 		if bk == nil {
@@ -584,9 +708,16 @@ func (pc *pconn) tryIssue(si int, sl *pslot) bool {
 		sl.tried |= 1 << uint(bk.idx)
 		if sl.attempts > 0 {
 			p.m.Retries.Inc()
+			kind := telemetry.EvRetry
 			if bk != sl.bk {
 				p.m.Failovers.Inc()
+				kind = telemetry.EvFailover
 			}
+			p.flight.Record(&telemetry.WideEvent{
+				Kind: kind, Op: server.OpEval, Type: sl.typ, ID: sl.id,
+				Count: uint32(sl.n), Conn: pc.hint, TraceID: sl.traceID,
+				Name: sl.rk.name, Note: bk.addr,
+			})
 		}
 		sl.attempts++
 		sl.bk = bk
@@ -597,6 +728,18 @@ func (pc *pconn) tryIssue(si int, sl *pslot) bool {
 		}
 		bk.m.Requests.Inc()
 		bk.m.Values.Add(uint64(sl.n))
+		if sl.traced {
+			// The ring-walk span absorbs backend picking plus any pool
+			// dial the forward needed; its end is the issue timestamp.
+			now := time.Now()
+			sl.spans = append(sl.spans, telemetry.SpanRecord{
+				Start: tWalk.UnixNano(), Dur: now.Sub(tWalk).Nanoseconds(),
+				Proc: telemetry.ProcProxy, Stage: telemetry.StageRingWalk,
+			})
+			sl.issued = now
+			cl.GoTraced(sl.typ, sl.rk.name, sl.dst, sl.src, pc.done, uint64(si), sl.traceID, sl.traceFlags)
+			return true
+		}
 		if !sl.start.IsZero() {
 			sl.issued = time.Now()
 		} else {
@@ -657,7 +800,7 @@ func (pc *pconn) writeLoop() {
 		pc.armWriteDeadline()
 		for {
 			if isLocal {
-				pc.writeResp(l.id, l.typ, l.status, nil)
+				pc.writeRespTraced(l.id, l.typ, l.status, nil, l.traced, l.traceID, l.flags, nil)
 			} else {
 				pc.handleCall(call)
 			}
@@ -687,6 +830,9 @@ func (pc *pconn) handleCall(call *server.Call) {
 	si := int(call.Tag)
 	sl := &pc.slots[si]
 	bk := sl.bk
+	if sl.traced {
+		pc.noteForward(sl, call)
+	}
 	if call.Err != nil {
 		bk.reportFailure(p)
 		if pc.tryIssue(si, sl) {
@@ -699,6 +845,7 @@ func (pc *pconn) handleCall(call *server.Call) {
 	bk.reportSuccess()
 	if !sl.issued.IsZero() {
 		bk.m.Lat.ObserveDuration(time.Since(sl.issued))
+		bk.m.LatSampled.Inc()
 	}
 	switch call.Status {
 	case server.StatusOK:
@@ -722,21 +869,56 @@ func (pc *pconn) handleCall(call *server.Call) {
 	}
 }
 
+// noteForward closes the span for the forward attempt that just
+// settled (the first attempt is a "forward", later ones "retry") and
+// splices in whatever spans the backend's response carried, so the
+// downstream caller receives queue/coalesce/kernel detail from every
+// backend the frame visited.
+func (pc *pconn) noteForward(sl *pslot, call *server.Call) {
+	stage := telemetry.StageForward
+	if sl.attempts > 1 {
+		stage = telemetry.StageRetry
+	}
+	sl.spans = append(sl.spans, telemetry.SpanRecord{
+		Start: sl.issued.UnixNano(), Dur: time.Since(sl.issued).Nanoseconds(),
+		Proc: telemetry.ProcProxy, Stage: stage,
+	})
+	sl.spans = append(sl.spans, call.Spans...)
+}
+
 // finish frames a slot's final response and releases it.
 func (pc *pconn) finish(si int, sl *pslot, status uint8, bits []uint32) {
 	if !sl.start.IsZero() {
-		pc.p.m.Lat.ObserveDuration(time.Since(sl.start))
+		lat := time.Since(sl.start)
+		pc.p.m.Lat.ObserveDuration(lat)
+		pc.p.m.LatSampled.Inc()
+		pc.p.flight.Record(&telemetry.WideEvent{
+			Kind: telemetry.EvResponse, Op: server.OpEval, Type: sl.typ, Status: status,
+			ID: sl.id, Count: uint32(sl.n), Conn: pc.hint, TraceID: sl.traceID,
+			LatNs: lat.Nanoseconds(), Name: sl.rk.name,
+		})
 	}
-	pc.writeResp(sl.id, sl.typ, status, bits)
+	pc.writeRespTraced(sl.id, sl.typ, status, bits, sl.traced, sl.traceID, sl.traceFlags, sl.spans)
 	pc.releaseSlot(si, sl)
 }
 
-// writeResp frames one response into the buffered writer. Write
-// failures poison the connection but the loop keeps consuming and
-// discarding, so upstream completions are never blocked on a dead
-// downstream.
+// writeResp frames one untraced (v1) response into the buffered
+// writer.
 func (pc *pconn) writeResp(id uint32, typ, status uint8, bits []uint32) {
+	pc.writeRespTraced(id, typ, status, bits, false, 0, 0, nil)
+}
+
+// writeRespTraced frames one response into the buffered writer: at v2
+// relaying the accumulated spans when traced, else at v1 with the
+// proxy's own version advertisement in the pad byte (so downstream
+// clients negotiate v2 against the proxy exactly as they would against
+// a backend). Write failures poison the connection but the loop keeps
+// consuming and discarding, so upstream completions are never blocked
+// on a dead downstream.
+func (pc *pconn) writeRespTraced(id uint32, typ, status uint8, bits []uint32, traced bool, traceID, flags uint64, spans []telemetry.SpanRecord) {
 	pc.resp.ID, pc.resp.Type, pc.resp.Status, pc.resp.Bits = id, typ, status, bits
+	pc.resp.Traced, pc.resp.TraceID, pc.resp.TraceFlags, pc.resp.Spans = traced, traceID, flags, spans
+	pc.resp.Advert = server.MaxProtoVersion
 	var err error
 	pc.buf, err = server.AppendResponse(pc.buf[:0], &pc.resp)
 	if err != nil || pc.failed {

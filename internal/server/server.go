@@ -7,10 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rlibm32/internal/telemetry"
 )
 
 // Config tunes one Server. Zero values take the defaults noted on each
@@ -43,6 +46,17 @@ type Config struct {
 	ReadTimeout time.Duration
 	// WriteTimeout is the per-flush write deadline (default 30 s).
 	WriteTimeout time.Duration
+	// FlightEvents sizes the always-on flight-recorder ring (default
+	// 4096 wide events).
+	FlightEvents int
+	// FlightDir is where anomaly triggers dump the flight ring as JSON
+	// ("" keeps the recorder in-memory only — /debug/flight still
+	// serves it).
+	FlightDir string
+	// BusyDumpFrac is the shed fraction that fires a "busy-fraction"
+	// flight dump, judged over sliding ~1s windows of admission
+	// verdicts (default 0.5; negative disables the trigger).
+	BusyDumpFrac float64
 }
 
 func (c *Config) withDefaults() Config {
@@ -71,6 +85,12 @@ func (c *Config) withDefaults() Config {
 	if out.WriteTimeout <= 0 {
 		out.WriteTimeout = 30 * time.Second
 	}
+	if out.FlightEvents <= 0 {
+		out.FlightEvents = 4096
+	}
+	if out.BusyDumpFrac == 0 {
+		out.BusyDumpFrac = 0.5
+	}
 	return out
 }
 
@@ -79,9 +99,11 @@ func (c *Config) withDefaults() Config {
 // and writes bit-exact responses, out of order, with scatter-gather
 // frame batching.
 type Server struct {
-	cfg  Config
-	disp *dispatcher
-	m    *Metrics
+	cfg    Config
+	disp   *dispatcher
+	m      *Metrics
+	flight *telemetry.FlightRecorder
+	busyW  *telemetry.BusyWatch
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -101,17 +123,37 @@ func New(cfg Config) *Server {
 		keys = append(keys, k)
 	}
 	m := newMetrics(keys)
-	return &Server{
-		cfg:   cfg,
-		disp:  newDispatcher(eval, cfg.Workers, cfg.MaxBatch, cfg.MaxInflight, m),
-		m:     m,
-		conns: make(map[net.Conn]struct{}),
+	s := &Server{
+		cfg:    cfg,
+		disp:   newDispatcher(eval, cfg.Workers, cfg.MaxBatch, cfg.MaxInflight, m),
+		m:      m,
+		flight: telemetry.NewFlightRecorder("rlibmd", cfg.FlightEvents),
+		conns:  make(map[net.Conn]struct{}),
 	}
+	s.flight.SetDump(cfg.FlightDir, 0, func(reason, path string, err error) {
+		m.flightDumps.Add(1)
+	})
+	if cfg.BusyDumpFrac > 0 {
+		s.busyW = telemetry.NewBusyWatch(cfg.BusyDumpFrac, 1024, time.Second)
+	}
+	return s
 }
 
 // Metrics exposes the server's counters (for the admin listener and
 // tests).
 func (s *Server) Metrics() *Metrics { return s.m }
+
+// Flight exposes the server's always-on flight recorder (for the admin
+// listener, signal handlers, and tests).
+func (s *Server) Flight() *telemetry.FlightRecorder { return s.flight }
+
+// AdminHandler serves the full admin surface: everything
+// Metrics.AdminHandler provides (/metrics, /debug/vars,
+// /debug/pprof/*) plus the flight recorder at /debug/flight and
+// /debug/flight/trigger.
+func (s *Server) AdminHandler() http.Handler {
+	return s.flight.AdminHandler(s.m.AdminHandler())
+}
 
 // Addr returns the bound listen address ("" before Serve).
 func (s *Server) Addr() string {
@@ -180,6 +222,7 @@ func (s *Server) Serve(ln net.Listener) error {
 // expires first (remaining connections are then closed hard).
 func (s *Server) Shutdown(ctx context.Context) error {
 	drainStart := time.Now()
+	s.flight.Record(&telemetry.WideEvent{Kind: telemetry.EvDrain})
 	s.m.draining.Set(1)
 	s.draining.Store(true)
 	s.mu.Lock()
@@ -246,6 +289,8 @@ type connWriter struct {
 	sent   []*pending  // pendings whose frames are queued in bufs
 	nbytes int64
 	failed bool
+
+	spanScratch [3]telemetry.SpanRecord // traced-response span staging (a field so no frame allocates)
 }
 
 func (w *connWriter) deliver(p *pending) { w.respq <- p }
@@ -257,7 +302,11 @@ func (w *connWriter) admit() {
 	w.outstanding.Add(1)
 }
 
-// add queues one response frame into the pending writev.
+// add queues one response frame into the pending writev. Untraced
+// responses go out as v1 frames with the server's MaxProtoVersion
+// advertisement in the pad byte (v1 decoders never read it); traced
+// ones as v2 frames echoing the trace block plus the backend stage
+// spans stamped by runBatch.
 func (w *connWriter) add(p *pending) {
 	width := TypeWidth(p.typ)
 	count := 0
@@ -265,7 +314,29 @@ func (w *connWriter) add(p *pending) {
 		count = len(p.dst)
 	}
 	off := len(w.hdrs)
-	w.hdrs = appendResponseHeader(w.hdrs, p.status, p.typ, p.id, count, width)
+	if p.traced {
+		var spans []telemetry.SpanRecord
+		var lat int64
+		if p.tKern1 != 0 {
+			startNs := p.start.UnixNano()
+			w.spanScratch[0] = telemetry.SpanRecord{Start: startNs, Dur: p.tAssemble - startNs, Proc: telemetry.ProcBackend, Stage: telemetry.StageQueue}
+			w.spanScratch[1] = telemetry.SpanRecord{Start: p.tAssemble, Dur: p.tKern0 - p.tAssemble, Proc: telemetry.ProcBackend, Stage: telemetry.StageCoalesce}
+			w.spanScratch[2] = telemetry.SpanRecord{Start: p.tKern0, Dur: p.tKern1 - p.tKern0, Proc: telemetry.ProcBackend, Stage: telemetry.StageKernel}
+			spans = w.spanScratch[:3]
+			lat = p.tKern1 - startNs
+		}
+		w.hdrs = appendTracedResponseHeader(w.hdrs, p.status, p.typ, p.id, count, width, p.traceID, p.traceFlags, spans)
+		name := ""
+		if p.ks != nil {
+			name = p.ks.key.name
+		}
+		w.s.flight.Record(&telemetry.WideEvent{
+			Kind: telemetry.EvResponse, Op: OpEval, Type: p.typ, Status: p.status,
+			ID: p.id, Count: uint32(count), TraceID: p.traceID, LatNs: lat, Name: name,
+		})
+	} else {
+		w.hdrs = appendResponseHeader(w.hdrs, p.status, p.typ, MaxProtoVersion, p.id, count, width)
+	}
 	w.bufs = append(w.bufs, w.hdrs[off:len(w.hdrs):len(w.hdrs)])
 	w.nbytes += int64(len(w.hdrs) - off)
 	if count > 0 {
@@ -414,22 +485,38 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
-		if len(frame) < reqHeaderLen || frame[0] != ProtoVersion {
+		if len(frame) < reqHeaderLen ||
+			(frame[0] != ProtoVersion && frame[0] != ProtoVersionTraced) {
 			s.malformed(w, frame)
 			return
+		}
+		hdr := reqHeaderLen
+		traced := frame[0] == ProtoVersionTraced
+		var traceID, traceFlags uint64
+		if traced {
+			if len(frame) < reqHeaderLen+TraceBlockLen {
+				s.malformed(w, frame)
+				return
+			}
+			traceID = binary.LittleEndian.Uint64(frame[12:])
+			traceFlags = binary.LittleEndian.Uint64(frame[20:])
+			hdr += TraceBlockLen
+			s.m.TracedFrames.Add(1)
 		}
 		op, typ, nameLen := frame[1], frame[2], int(frame[3])
 		id := binary.LittleEndian.Uint32(frame[4:])
 		count := int(binary.LittleEndian.Uint32(frame[8:]))
 		if op == OpPing {
-			if nameLen != 0 || count != 0 || len(frame) != reqHeaderLen {
+			if nameLen != 0 || count != 0 || len(frame) != hdr {
 				s.malformed(w, frame)
 				return
 			}
 			// A draining server is alive but not ready: answering pings
 			// with SHUTDOWN (instead of OK) lets health probes eject it
 			// before its listener disappears, so a fleet proxy reroutes
-			// new traffic while in-flight requests finish.
+			// new traffic while in-flight requests finish. Ping responses
+			// are always v1 — their pad-byte advertisement is how peers
+			// discover v2 support.
 			if s.draining.Load() {
 				s.respond(w, id, typ, StatusShutdown)
 				return
@@ -439,41 +526,58 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		width := TypeWidth(typ)
 		if op != OpEval || width == 0 ||
-			len(frame) != reqHeaderLen+nameLen+count*width {
+			len(frame) != hdr+nameLen+count*width {
 			s.malformed(w, frame)
 			return
 		}
-		name := frame[reqHeaderLen : reqHeaderLen+nameLen]
+		name := frame[hdr : hdr+nameLen]
 		s.m.Requests.Add(1)
 		if s.draining.Load() {
 			s.m.ErrFrames.Add(1)
-			s.respond(w, id, typ, StatusShutdown)
+			s.respondTraced(w, id, typ, StatusShutdown, traced, traceID, traceFlags)
 			return
 		}
 		ks := s.disp.lookup(typ, name)
 		if ks == nil {
 			s.m.ErrFrames.Add(1)
-			s.respond(w, id, typ, StatusUnknownFunc)
+			s.flight.Record(&telemetry.WideEvent{
+				Kind: telemetry.EvFrame, Op: op, Type: typ, Status: StatusUnknownFunc,
+				ID: id, Count: uint32(count), Conn: hint, TraceID: traceID, Note: "unknown-func",
+			})
+			s.respondTraced(w, id, typ, StatusUnknownFunc, traced, traceID, traceFlags)
 			continue
 		}
+		s.flight.Record(&telemetry.WideEvent{
+			Kind: telemetry.EvFrame, Op: op, Type: typ,
+			ID: id, Count: uint32(count), Conn: hint, TraceID: traceID, Name: ks.key.name,
+		})
 		if count == 0 {
 			if ks.fm != nil {
 				ks.fm.Requests.Add(1)
 			}
-			s.respond(w, id, typ, StatusOK)
+			s.respondTraced(w, id, typ, StatusOK, traced, traceID, traceFlags)
 			continue
 		}
 		p := getPending(count)
-		decodeValuesInto(p.src, frame[reqHeaderLen+nameLen:], width)
+		decodeValuesInto(p.src, frame[hdr+nameLen:], width)
 		p.ks, p.out, p.start = ks, w, time.Now()
 		p.id, p.typ = id, typ
+		p.traced, p.traceID, p.traceFlags = traced, traceID, traceFlags
 		w.admit()
 		if st := s.disp.submit(p, hint); st != StatusOK {
 			s.m.ErrFrames.Add(1)
+			s.flight.Record(&telemetry.WideEvent{
+				Kind: telemetry.EvShed, Op: op, Type: typ, Status: st,
+				ID: id, Count: uint32(count), Conn: hint, TraceID: traceID, Name: ks.key.name,
+			})
+			if s.busyW.ObserveShed() {
+				s.flight.TriggerDump("busy-fraction")
+			}
 			p.status, p.dst, p.batch = st, nil, nil
 			w.respq <- p // slot already held; deliver the error ourselves
 			continue
 		}
+		s.busyW.ObserveOK()
 		if ks.fm != nil {
 			ks.fm.Requests.Add(1)
 			ks.fm.Values.Add(uint64(count))
@@ -485,8 +589,16 @@ func (s *Server) handleConn(conn net.Conn) {
 // error status) through the writer, in arrival order with the data
 // path.
 func (s *Server) respond(w *connWriter, id uint32, typ, status uint8) {
+	s.respondTraced(w, id, typ, status, false, 0, 0)
+}
+
+// respondTraced is respond carrying the request's trace context, so
+// error statuses for traced frames still echo the trace block (the
+// proxy relays them downstream under the same trace id).
+func (s *Server) respondTraced(w *connWriter, id uint32, typ, status uint8, traced bool, traceID, traceFlags uint64) {
 	p := getPending(0)
 	p.id, p.typ, p.status = id, typ, status
+	p.traced, p.traceID, p.traceFlags = traced, traceID, traceFlags
 	p.out = w
 	w.admit()
 	w.respq <- p
@@ -500,5 +612,6 @@ func (s *Server) malformed(w *connWriter, frame []byte) {
 	if len(frame) >= 8 {
 		id = binary.LittleEndian.Uint32(frame[4:])
 	}
+	s.flight.Record(&telemetry.WideEvent{Kind: telemetry.EvMalformed, ID: id})
 	s.respond(w, id, 0, StatusMalformed)
 }

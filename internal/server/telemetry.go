@@ -44,6 +44,7 @@ type Metrics struct {
 	ErrFrames     *telemetry.Counter // error responses sent (any non-OK status)
 	Batches       *telemetry.Counter // coalesced batches dispatched to kernels
 	BatchedValues *telemetry.Counter // values across all dispatched batches
+	TracedFrames  *telemetry.Counter // v2 request frames carrying a trace context
 
 	batchSize    *telemetry.Histogram // values per coalesced batch
 	shedValues   *telemetry.Counter   // values refused by admission control
@@ -55,6 +56,7 @@ type Metrics struct {
 	draining     *telemetry.Gauge     // 1 while a graceful drain is running
 	drains       *telemetry.Counter   // graceful drains completed
 	drainNs      *telemetry.Gauge     // duration of the last completed drain
+	flightDumps  *telemetry.Counter   // flight-recorder anomaly dumps written
 }
 
 func newMetrics(keys []batchKey) *Metrics {
@@ -76,6 +78,8 @@ func newMetrics(keys []batchKey) *Metrics {
 			"coalesced batches dispatched to the kernels"),
 		BatchedValues: reg.Counter("rlibmd_batched_values_total",
 			"values across all dispatched batches"),
+		TracedFrames: reg.Counter("rlibmd_traced_frames_total",
+			"request frames carrying a v2 trace context"),
 		batchSize: reg.Histogram("rlibmd_batch_size",
 			"values per coalesced kernel batch (power-of-two buckets)"),
 		shedValues: reg.Counter("rlibmd_shed_values_total",
@@ -96,6 +100,8 @@ func newMetrics(keys []batchKey) *Metrics {
 			"graceful drains completed"),
 		drainNs: reg.Gauge("rlibmd_drain_duration_ns",
 			"duration of the last completed graceful drain"),
+		flightDumps: reg.Counter("rlibmd_flight_dumps_total",
+			"flight-recorder anomaly dumps written"),
 	}
 	for _, k := range keys {
 		typ, name := TypeVariant(k.typ), k.name
@@ -164,6 +170,8 @@ func (m *Metrics) Snapshot() map[string]any {
 		"batches":        m.Batches.Load(),
 		"batched_values": m.BatchedValues.Load(),
 		"shed_values":    m.shedValues.Load(),
+		"traced_frames":  m.TracedFrames.Load(),
+		"flight_dumps":   m.flightDumps.Load(),
 		"steals":         m.steals.Load(),
 		"writevs":        m.writevs.Load(),
 		"writev_frames":  m.writevFrames.Load(),

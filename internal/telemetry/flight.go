@@ -1,0 +1,404 @@
+// Always-on anomaly flight recorder.
+//
+// A FlightRecorder keeps the last N "wide events" — one compact struct
+// per interesting moment (frame admitted, request shed, backend
+// ejected, latency exemplar) — in a fixed ring that is written on the
+// hot path and only read when something goes wrong. The write path is
+// one atomic ticket fetch plus one uncontended per-slot mutex
+// (different writers almost always land on different slots), so
+// recording costs ~tens of nanoseconds and never allocates: WideEvent
+// is passed by pointer and copied into the ring, and the two string
+// fields must be interned/constant strings, never formatted per event.
+//
+// When an anomaly trigger fires (SIGQUIT, BUSY-fraction threshold,
+// backend ejection, an external bit-mismatch report), TriggerDump
+// writes the ring as JSON to the configured directory — rate-limited
+// so a trigger storm produces one dump, not thousands — and the
+// /debug/flight admin endpoint serves the live ring at any time.
+// Post-hoc forensics therefore never depends on having had debug
+// logging enabled.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wide-event kinds.
+const (
+	EvFrame     uint8 = 1  // request frame admitted (header fields)
+	EvResponse  uint8 = 2  // latency exemplar for a completed request
+	EvShed      uint8 = 3  // admission control returned BUSY
+	EvMalformed uint8 = 4  // protocol error closed a connection
+	EvRetry     uint8 = 5  // proxy reissued a frame after upstream failure
+	EvFailover  uint8 = 6  // proxy moved a frame to a different backend
+	EvEject     uint8 = 7  // health tracker marked a backend down
+	EvReadmit   uint8 = 8  // health tracker marked a backend up again
+	EvDrain     uint8 = 9  // process entered shutdown drain
+	EvTrigger   uint8 = 10 // anomaly trigger fired (reason in Note)
+)
+
+var eventKindNames = [...]string{
+	EvFrame:     "frame",
+	EvResponse:  "response",
+	EvShed:      "shed",
+	EvMalformed: "malformed",
+	EvRetry:     "retry",
+	EvFailover:  "failover",
+	EvEject:     "eject",
+	EvReadmit:   "readmit",
+	EvDrain:     "drain",
+	EvTrigger:   "trigger",
+}
+
+// EventKindName returns the JSON name for a wide-event kind.
+func EventKindName(kind uint8) string {
+	if int(kind) < len(eventKindNames) && eventKindNames[kind] != "" {
+		return eventKindNames[kind]
+	}
+	return "kind#" + fmt.Sprint(kind)
+}
+
+// WideEvent is one flight-recorder entry. Zero fields are meaningful
+// ("no trace id", "no latency"); Time is stamped by Record when left
+// zero. Name and Note MUST be constant or interned strings — Record
+// copies the struct, not the string bytes, and formatting a string per
+// hot-path event would defeat the zero-alloc budget.
+type WideEvent struct {
+	Time    int64 // ns since the Unix epoch
+	Kind    uint8
+	Op      uint8 // wire opcode, if the event is about a frame
+	Type    uint8 // wire type code
+	Status  uint8 // wire status for responses/sheds
+	ID      uint32
+	Count   uint32 // values in the frame
+	Conn    uint32 // connection ordinal
+	TraceID uint64
+	LatNs   int64
+	Name    string // function name (interned)
+	Note    string // event-specific detail (constant)
+}
+
+type flightSlot struct {
+	mu  sync.Mutex
+	seq uint64 // ticket that owns the slot; 0 = never written
+	ev  WideEvent
+}
+
+// FlightRecorder is the fixed ring. A nil recorder ignores Record and
+// TriggerDump calls, so call sites need no guards.
+type FlightRecorder struct {
+	process string
+	slots   []flightSlot
+	seq     atomic.Uint64
+
+	dir      string
+	cooldown time.Duration
+	lastDump atomic.Int64 // unix ns of the last accepted trigger
+	dumpSeq  atomic.Uint64
+	onDump   func(reason, path string, err error)
+}
+
+// NewFlightRecorder makes a ring of n events (default 4096 if n <= 0)
+// for the named process ("rlibmd", "rlibmproxy").
+func NewFlightRecorder(process string, n int) *FlightRecorder {
+	if n <= 0 {
+		n = 4096
+	}
+	return &FlightRecorder{process: process, slots: make([]flightSlot, n), cooldown: 10 * time.Second}
+}
+
+// SetDump configures anomaly dumps: dir is where TriggerDump writes
+// files ("" disables file output), cooldown rate-limits triggers
+// (<= 0 keeps the 10s default), and onDump (may be nil) observes every
+// accepted trigger — use it to log and count dumps.
+func (f *FlightRecorder) SetDump(dir string, cooldown time.Duration, onDump func(reason, path string, err error)) {
+	if f == nil {
+		return
+	}
+	f.dir = dir
+	if cooldown > 0 {
+		f.cooldown = cooldown
+	}
+	f.onDump = onDump
+}
+
+// Record copies ev into the ring, stamping Time if unset. Nil-safe,
+// allocation-free, safe for any number of concurrent writers.
+func (f *FlightRecorder) Record(ev *WideEvent) {
+	if f == nil {
+		return
+	}
+	n := f.seq.Add(1)
+	s := &f.slots[(n-1)%uint64(len(f.slots))]
+	s.mu.Lock()
+	s.ev = *ev
+	if s.ev.Time == 0 {
+		s.ev.Time = time.Now().UnixNano()
+	}
+	s.seq = n
+	s.mu.Unlock()
+}
+
+// Recorded returns how many events were ever recorded (including ones
+// the ring has since overwritten).
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Snapshot returns the retained events oldest-first. Concurrent Record
+// calls may land mid-snapshot; each slot is still read tear-free.
+func (f *FlightRecorder) Snapshot() []WideEvent {
+	if f == nil {
+		return nil
+	}
+	type numbered struct {
+		seq uint64
+		ev  WideEvent
+	}
+	evs := make([]numbered, 0, len(f.slots))
+	for i := range f.slots {
+		s := &f.slots[i]
+		s.mu.Lock()
+		if s.seq != 0 {
+			evs = append(evs, numbered{s.seq, s.ev})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].seq < evs[j].seq })
+	out := make([]WideEvent, len(evs))
+	for i, e := range evs {
+		out[i] = e.ev
+	}
+	return out
+}
+
+// flightEventJSON is the dump schema for one event.
+type flightEventJSON struct {
+	Time    int64  `json:"t"`
+	Kind    string `json:"kind"`
+	Op      uint8  `json:"op"`
+	Type    uint8  `json:"type"`
+	Status  uint8  `json:"status"`
+	ID      uint32 `json:"id"`
+	Count   uint32 `json:"count"`
+	Conn    uint32 `json:"conn"`
+	TraceID string `json:"trace_id"`
+	LatNs   int64  `json:"lat_ns"`
+	Name    string `json:"name"`
+	Note    string `json:"note"`
+}
+
+type flightDumpJSON struct {
+	Process  string            `json:"process"`
+	Reason   string            `json:"reason"`
+	DumpedAt int64             `json:"dumped_at_unix_ns"`
+	Recorded uint64            `json:"recorded"`
+	Retained int               `json:"retained"`
+	Events   []flightEventJSON `json:"events"`
+}
+
+// WriteJSON renders the current ring contents (oldest-first) with the
+// dump envelope. Used both by TriggerDump and the /debug/flight
+// endpoint.
+func (f *FlightRecorder) WriteJSON(w io.Writer, reason string) error {
+	snap := f.Snapshot()
+	d := flightDumpJSON{
+		Reason:   reason,
+		DumpedAt: time.Now().UnixNano(),
+		Recorded: f.Recorded(),
+		Retained: len(snap),
+		Events:   make([]flightEventJSON, len(snap)),
+	}
+	if f != nil {
+		d.Process = f.process
+	}
+	for i, ev := range snap {
+		d.Events[i] = flightEventJSON{
+			Time:    ev.Time,
+			Kind:    EventKindName(ev.Kind),
+			Op:      ev.Op,
+			Type:    ev.Type,
+			Status:  ev.Status,
+			ID:      ev.ID,
+			Count:   ev.Count,
+			Conn:    ev.Conn,
+			TraceID: fmt.Sprintf("0x%x", ev.TraceID),
+			LatNs:   ev.LatNs,
+			Name:    ev.Name,
+			Note:    ev.Note,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&d)
+}
+
+// sanitizeReason makes a trigger reason safe for filenames (it may
+// arrive from the admin endpoint's query string).
+func sanitizeReason(reason string) string {
+	out := make([]byte, 0, len(reason))
+	for i := 0; i < len(reason) && len(out) < 32; i++ {
+		c := reason[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "trigger"
+	}
+	return string(out)
+}
+
+// TriggerDump fires an anomaly trigger: it records an EvTrigger event,
+// then (outside the cooldown window) writes the ring to
+// <dir>/flight-<process>-<pid>-<reason>-<seq>.json. Returns the dump
+// path and whether a dump was actually written. Nil-safe. The pid in
+// the filename keeps two backends sharing a directory from colliding.
+func (f *FlightRecorder) TriggerDump(reason string) (string, bool) {
+	if f == nil {
+		return "", false
+	}
+	reason = sanitizeReason(reason)
+	f.Record(&WideEvent{Kind: EvTrigger, Note: reason})
+	now := time.Now().UnixNano()
+	last := f.lastDump.Load()
+	if now-last < f.cooldown.Nanoseconds() || !f.lastDump.CompareAndSwap(last, now) {
+		return "", false
+	}
+	if f.dir == "" {
+		if f.onDump != nil {
+			f.onDump(reason, "", nil)
+		}
+		return "", false
+	}
+	name := fmt.Sprintf("flight-%s-%d-%s-%d.json", f.process, os.Getpid(), reason, f.dumpSeq.Add(1))
+	path := filepath.Join(f.dir, name)
+	err := f.dumpFile(path, reason)
+	if f.onDump != nil {
+		f.onDump(reason, path, err)
+	}
+	return path, err == nil
+}
+
+func (f *FlightRecorder) dumpFile(path, reason string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteJSON(file, reason); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// AdminHandler wraps base (which may be nil) with the flight-recorder
+// endpoints: GET /debug/flight streams the live ring as JSON, and
+// /debug/flight/trigger?reason=R fires an anomaly trigger — the hook
+// external observers (rlibmload's bit-mismatch report) use to force a
+// dump — answering with the dump path, or triggered=false inside the
+// cooldown window.
+func (f *FlightRecorder) AdminHandler(base http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	if base != nil {
+		mux.Handle("/", base)
+	}
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		f.WriteJSON(w, "inspect")
+	})
+	mux.HandleFunc("/debug/flight/trigger", func(w http.ResponseWriter, r *http.Request) {
+		reason := r.URL.Query().Get("reason")
+		if reason == "" {
+			reason = "external"
+		}
+		path, ok := f.TriggerDump(reason)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"triggered\":%v,\"path\":%s}\n", ok, strconv.Quote(path))
+	})
+	return mux
+}
+
+// BusyWatch turns a stream of admit/shed verdicts into a BUSY-fraction
+// anomaly signal: when, over a sliding window of at least Min verdicts,
+// the shed fraction reaches Frac, ObserveShed returns true once and the
+// window restarts. The admit path pays one atomic increment; only the
+// (already slow) shed path reads the clock.
+type BusyWatch struct {
+	Frac   float64       // trigger threshold, e.g. 0.5
+	Min    uint64        // minimum verdicts per window before judging
+	Window time.Duration // max window age before counters reset
+
+	ok          atomic.Uint64
+	shed        atomic.Uint64
+	windowStart atomic.Int64
+}
+
+// NewBusyWatch returns a watch with the given threshold (<=0 disables)
+// over windows of at least min verdicts and at most window duration.
+func NewBusyWatch(frac float64, min uint64, window time.Duration) *BusyWatch {
+	if min == 0 {
+		min = 1024
+	}
+	if window <= 0 {
+		window = time.Second
+	}
+	return &BusyWatch{Frac: frac, Min: min, Window: window}
+}
+
+// ObserveOK counts an admitted request. Nil-safe.
+func (b *BusyWatch) ObserveOK() {
+	if b != nil {
+		b.ok.Add(1)
+	}
+}
+
+// ObserveShed counts a shed request and reports whether the BUSY
+// fraction crossed the threshold (at most once per window). Nil-safe.
+func (b *BusyWatch) ObserveShed() bool {
+	if b == nil || b.Frac <= 0 {
+		return false
+	}
+	shed := b.shed.Add(1)
+	now := time.Now().UnixNano()
+	start := b.windowStart.Load()
+	if start == 0 {
+		b.windowStart.CompareAndSwap(0, now)
+		return false
+	}
+	if now-start > b.Window.Nanoseconds() {
+		// Window expired: restart. Losing a few racing counts is fine —
+		// this is an anomaly heuristic, not an SLO metric.
+		if b.windowStart.CompareAndSwap(start, now) {
+			b.ok.Store(0)
+			b.shed.Store(0)
+		}
+		return false
+	}
+	total := shed + b.ok.Load()
+	if total < b.Min || float64(shed) < b.Frac*float64(total) {
+		return false
+	}
+	if !b.windowStart.CompareAndSwap(start, now) {
+		return false // another goroutine claimed the trigger
+	}
+	b.ok.Store(0)
+	b.shed.Store(0)
+	return true
+}

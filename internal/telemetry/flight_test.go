@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderOrderAndWrap(t *testing.T) {
+	f := NewFlightRecorder("test", 8)
+	for i := 0; i < 20; i++ {
+		f.Record(&WideEvent{Kind: EvFrame, ID: uint32(i), Time: int64(i + 1)})
+	}
+	if got := f.Recorded(); got != 20 {
+		t.Fatalf("Recorded = %d, want 20", got)
+	}
+	snap := f.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("Snapshot retained %d events, want 8", len(snap))
+	}
+	for i, ev := range snap {
+		if want := uint32(12 + i); ev.ID != want {
+			t.Fatalf("snap[%d].ID = %d, want %d (oldest-first after wrap)", i, ev.ID, want)
+		}
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(&WideEvent{Kind: EvFrame})
+	if f.Recorded() != 0 || f.Snapshot() != nil {
+		t.Fatal("nil recorder should be inert")
+	}
+	if _, ok := f.TriggerDump("x"); ok {
+		t.Fatal("nil recorder dumped")
+	}
+}
+
+func TestFlightRecorderStampsTime(t *testing.T) {
+	f := NewFlightRecorder("test", 4)
+	before := time.Now().UnixNano()
+	f.Record(&WideEvent{Kind: EvShed})
+	snap := f.Snapshot()
+	if len(snap) != 1 || snap[0].Time < before {
+		t.Fatalf("Record did not stamp Time: %+v", snap)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder("test", 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Record(&WideEvent{Kind: EvFrame, Conn: uint32(g), ID: uint32(i)})
+				if i%100 == 0 {
+					f.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := f.Recorded(); got != 4000 {
+		t.Fatalf("Recorded = %d, want 4000", got)
+	}
+	if got := len(f.Snapshot()); got != 64 {
+		t.Fatalf("retained %d, want 64", got)
+	}
+}
+
+func TestFlightDumpJSONSchema(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder("rlibmd", 16)
+	var dumped string
+	f.SetDump(dir, time.Millisecond, func(reason, path string, err error) {
+		if err != nil {
+			t.Errorf("dump error: %v", err)
+		}
+		dumped = path
+	})
+	f.Record(&WideEvent{Kind: EvFrame, Op: 1, Type: 1, ID: 7, Count: 256, Conn: 3, TraceID: 0xabc, Name: "exp"})
+	f.Record(&WideEvent{Kind: EvEject, Note: "probe-failure"})
+	path, ok := f.TriggerDump("sigquit")
+	if !ok || path == "" || path != dumped {
+		t.Fatalf("TriggerDump = (%q, %v), onDump saw %q", path, ok, dumped)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Process  string `json:"process"`
+		Reason   string `json:"reason"`
+		DumpedAt int64  `json:"dumped_at_unix_ns"`
+		Recorded uint64 `json:"recorded"`
+		Retained int    `json:"retained"`
+		Events   []struct {
+			Time    int64  `json:"t"`
+			Kind    string `json:"kind"`
+			TraceID string `json:"trace_id"`
+			Name    string `json:"name"`
+			Note    string `json:"note"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if d.Process != "rlibmd" || d.Reason != "sigquit" || d.DumpedAt == 0 {
+		t.Fatalf("bad envelope: %+v", d)
+	}
+	// TriggerDump records its own EvTrigger event before dumping.
+	if d.Retained != 3 || len(d.Events) != 3 || d.Recorded != 3 {
+		t.Fatalf("want 3 events (frame, eject, trigger), got %+v", d)
+	}
+	if d.Events[0].Kind != "frame" || d.Events[0].TraceID != "0xabc" || d.Events[0].Name != "exp" {
+		t.Fatalf("bad first event: %+v", d.Events[0])
+	}
+	if d.Events[2].Kind != "trigger" || d.Events[2].Note != "sigquit" {
+		t.Fatalf("bad trigger event: %+v", d.Events[2])
+	}
+	if base := filepath.Base(path); !strings.HasPrefix(base, "flight-rlibmd-") || !strings.Contains(base, "-sigquit-") {
+		t.Fatalf("bad dump filename: %s", base)
+	}
+}
+
+func TestFlightDumpCooldown(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder("p", 8)
+	f.SetDump(dir, time.Hour, nil)
+	if _, ok := f.TriggerDump("first"); !ok {
+		t.Fatal("first trigger should dump")
+	}
+	if _, ok := f.TriggerDump("second"); ok {
+		t.Fatal("second trigger inside cooldown should not dump")
+	}
+	// Both triggers are still recorded as events.
+	snap := f.Snapshot()
+	var triggers int
+	for _, ev := range snap {
+		if ev.Kind == EvTrigger {
+			triggers++
+		}
+	}
+	if triggers != 2 {
+		t.Fatalf("recorded %d trigger events, want 2", triggers)
+	}
+}
+
+func TestFlightWriteJSONLive(t *testing.T) {
+	f := NewFlightRecorder("proxy", 4)
+	f.Record(&WideEvent{Kind: EvRetry, ID: 9})
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf, "inspect"); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+}
+
+func TestBusyWatch(t *testing.T) {
+	b := NewBusyWatch(0.5, 10, time.Hour)
+	// First shed initializes the window.
+	if b.ObserveShed() {
+		t.Fatal("window-opening shed should not trigger")
+	}
+	for i := 0; i < 4; i++ {
+		b.ObserveOK()
+	}
+	fired := false
+	for i := 0; i < 6; i++ {
+		if b.ObserveShed() {
+			fired = true
+			break
+		}
+	}
+	// 4 OK + >=6 shed crosses min=10 at >=50% shed.
+	if !fired {
+		t.Fatal("BusyWatch never fired at 60%% shed")
+	}
+	// After firing, counters reset: the next shed reopens quietly.
+	if b.ObserveShed() {
+		t.Fatal("BusyWatch fired twice in a row")
+	}
+}
+
+func TestBusyWatchDisabled(t *testing.T) {
+	b := NewBusyWatch(0, 1, time.Hour)
+	for i := 0; i < 100; i++ {
+		if b.ObserveShed() {
+			t.Fatal("disabled watch fired")
+		}
+	}
+	var nilWatch *BusyWatch
+	nilWatch.ObserveOK()
+	if nilWatch.ObserveShed() {
+		t.Fatal("nil watch fired")
+	}
+}
